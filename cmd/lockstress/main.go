@@ -1,0 +1,113 @@
+// Command lockstress hammers the native spin locks with real
+// goroutines and reports throughput — experiment E9's standalone
+// driver. Every run double-checks mutual exclusion by verifying that
+// no increments of an unprotected counter were lost.
+//
+// Usage:
+//
+//	lockstress [-lock all|mutex|tas|ttas|ticket|anderson|clh|mcs|gt|generic-inc|generic-swap]
+//	           [-workers W] [-iters I] [-cswork K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"fetchphi/internal/nativelock"
+)
+
+// stressCase wraps one lock behind a uniform critical-section runner.
+type stressCase struct {
+	name string
+	cs   func(id int, body func())
+}
+
+func cases(workers int) []stressCase {
+	var mu sync.Mutex
+	var tas nativelock.TASLock
+	var ttas nativelock.TTASLock
+	var ticket nativelock.TicketLock
+	anderson := nativelock.NewAndersonLock(workers)
+	clh := nativelock.NewCLHLock()
+	mcs := nativelock.NewMCSLock()
+	gt := nativelock.NewGraunkeThakkarLock()
+	genInc := nativelock.NewGeneric(workers, nativelock.FetchIncrement)
+	genSwap := nativelock.NewGeneric(workers, nativelock.FetchStore)
+	tree := nativelock.NewTreeLock(workers)
+
+	return []stressCase{
+		{"sync.Mutex", func(_ int, body func()) { mu.Lock(); body(); mu.Unlock() }},
+		{"tas", func(_ int, body func()) { tas.Lock(); body(); tas.Unlock() }},
+		{"ttas", func(_ int, body func()) { ttas.Lock(); body(); ttas.Unlock() }},
+		{"ticket", func(_ int, body func()) { ticket.Lock(); body(); ticket.Unlock() }},
+		{"anderson", func(_ int, body func()) { s := anderson.Lock(); body(); anderson.UnlockSlot(s) }},
+		{"clh", func(_ int, body func()) { t := clh.Lock(); body(); clh.Unlock(t) }},
+		{"mcs", func(_ int, body func()) { n := mcs.Lock(); body(); mcs.Unlock(n) }},
+		{"gt", func(_ int, body func()) { t := gt.Lock(); body(); gt.Unlock(t) }},
+		{"generic-inc", func(id int, body func()) { genInc.LockID(id); body(); genInc.UnlockID(id) }},
+		{"generic-swap", func(id int, body func()) { genSwap.LockID(id); body(); genSwap.UnlockID(id) }},
+		{"peterson-tree", func(id int, body func()) { tree.LockID(id); body(); tree.UnlockID(id) }},
+	}
+}
+
+func main() {
+	var (
+		lock    = flag.String("lock", "all", "lock to stress, or 'all'")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent goroutines")
+		iters   = flag.Int("iters", 200_000, "critical sections per goroutine")
+		cswork  = flag.Int("cswork", 0, "extra shared-memory work per critical section")
+	)
+	flag.Parse()
+	if *workers < 1 || *iters < 1 {
+		fmt.Fprintln(os.Stderr, "lockstress: -workers and -iters must be positive")
+		os.Exit(2)
+	}
+
+	fmt.Printf("workers=%d iters=%d cswork=%d GOMAXPROCS=%d\n\n",
+		*workers, *iters, *cswork, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-14s %12s %14s\n", "lock", "total ops", "ns/op")
+	ran := 0
+	for _, c := range cases(*workers) {
+		if !strings.EqualFold(*lock, "all") && !strings.EqualFold(*lock, c.name) {
+			continue
+		}
+		ran++
+		var counter int
+		scratch := make([]int, 16)
+		body := func() {
+			counter++
+			for k := 0; k < *cswork; k++ {
+				scratch[k%len(scratch)]++
+			}
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < *workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < *iters; i++ {
+					c.cs(w, body)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := *workers * *iters
+		if counter != total {
+			fmt.Fprintf(os.Stderr, "lockstress: %s LOST UPDATES: %d != %d\n", c.name, counter, total)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %12d %14.1f\n", c.name, total, float64(elapsed.Nanoseconds())/float64(total))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "lockstress: unknown lock %q\n", *lock)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,55 @@
+// Command rmrbench regenerates the experiment tables of DESIGN.md
+// (E1–E8): every complexity claim of the paper, measured as remote
+// memory references on the simulated CC and DSM machines.
+//
+// Usage:
+//
+//	rmrbench [-experiment all|E1|E2|...] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fetchphi/internal/experiments"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+		quick  = flag.Bool("quick", false, "trim the sweeps (small N only)")
+		seed   = flag.Int64("seed", 1, "scheduler seed family")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "rmrbench: unknown format %q (want table or csv)\n", *format)
+		os.Exit(2)
+	}
+
+	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+	ran := 0
+	for _, e := range experiments.Registry() {
+		if !strings.EqualFold(*which, "all") && !strings.EqualFold(*which, e.ID) {
+			continue
+		}
+		ran++
+		for _, tbl := range e.Build(opts) {
+			if *format == "csv" {
+				if err := tbl.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "rmrbench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				tbl.Format(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rmrbench: unknown experiment %q (want E1..E8 or all)\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+// nativelocks: use the library's real sync/atomic spin locks — the MCS
+// queue lock and the paper's generic two-queue algorithm — to protect
+// a shared structure under genuine goroutine contention.
+//
+//	go run ./examples/nativelocks
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fetchphi/internal/nativelock"
+)
+
+// ledger is a tiny shared structure with an invariant (total stays 0)
+// that breaks immediately if the protecting lock fails.
+type ledger struct {
+	accounts [8]int64
+}
+
+func (l *ledger) transfer(from, to int, amount int64) {
+	l.accounts[from] -= amount
+	l.accounts[to] += amount
+}
+
+func (l *ledger) total() int64 {
+	var sum int64
+	for _, a := range l.accounts {
+		sum += a
+	}
+	return sum
+}
+
+func run(name string, workers, iters int, cs func(id int, body func())) {
+	var led ledger
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cs(w, func() { led.transfer(w%8, (w+i)%8, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	status := "invariant holds"
+	if led.total() != 0 {
+		status = fmt.Sprintf("INVARIANT BROKEN: total=%d", led.total())
+	}
+	fmt.Printf("%-22s %8.1f ns/op   %s\n",
+		name, float64(elapsed.Nanoseconds())/float64(workers*iters), status)
+}
+
+func main() {
+	workers := runtime.GOMAXPROCS(0)
+	const iters = 100_000
+	fmt.Printf("%d goroutines × %d transfers each\n\n", workers, iters)
+
+	mcs := nativelock.NewMCSLock()
+	run("mcs", workers, iters, func(_ int, body func()) {
+		n := mcs.Lock()
+		body()
+		mcs.Unlock(n)
+	})
+
+	gen := nativelock.NewGeneric(workers, nativelock.FetchIncrement)
+	run("generic/fetch-inc", workers, iters, func(id int, body func()) {
+		gen.LockID(id)
+		body()
+		gen.UnlockID(id)
+	})
+
+	genSwap := nativelock.NewGeneric(workers, nativelock.FetchStore)
+	run("generic/fetch-store", workers, iters, func(id int, body func()) {
+		genSwap.LockID(id)
+		body()
+		genSwap.UnlockID(id)
+	})
+
+	var mu sync.Mutex
+	run("sync.Mutex (stdlib)", workers, iters, func(_ int, body func()) {
+		mu.Lock()
+		body()
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,48 @@
+// Quickstart: run the paper's Algorithm G-DSM on a simulated
+// distributed-shared-memory machine and watch the O(1) RMR claim hold.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fetchphi/internal/core"
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+func main() {
+	const (
+		nproc   = 8
+		entries = 10
+	)
+
+	// The algorithm is generic over the fetch-and-φ primitive; any
+	// primitive of rank ≥ 2N works. fetch-and-store has infinite
+	// rank.
+	builder := func(m *memsim.Machine) harness.Algorithm {
+		return core.NewGDSM(m, phi.FetchAndStore{})
+	}
+
+	met, err := harness.Run(builder, harness.Workload{
+		Model:   memsim.DSM,
+		N:       nproc,
+		Entries: entries,
+		CSOps:   2, // simulated work inside each critical section
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err) // any mutual-exclusion or liveness failure lands here
+	}
+
+	fmt.Printf("algorithm      : g-dsm/fetch-and-store\n")
+	fmt.Printf("machine        : DSM, %d processes, %d entries each\n", nproc, entries)
+	fmt.Printf("CS entries     : %d (all completed, exclusion checked)\n", met.Result.CSEntries)
+	fmt.Printf("mean RMR/entry : %.1f\n", met.MeanRMR)
+	fmt.Printf("worst RMR/entry: %d\n", met.WorstRMR)
+	fmt.Printf("non-local spins: %d (local-spin property: must be 0)\n", met.NonLocalSpins)
+	fmt.Printf("max bypass     : %d (starvation freedom: bounded)\n", met.MaxBypass)
+}

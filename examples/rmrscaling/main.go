@@ -1,0 +1,70 @@
+// rmrscaling: the paper's headline comparison in one run — how the
+// worst-case RMRs per lock acquisition scale with the number of
+// processes for each algorithm family:
+//
+//	G-DSM (rank 2N primitive)      → O(1)           (Lemma 2)
+//	arbitration tree (rank 4)      → Θ(log₂ N)      (Theorem 1)
+//	Algorithm T (rank 3, self-res) → Θ(log N/loglog N) (Theorem 2)
+//	ticket lock (baseline)         → grows with N on CC
+//
+//	go run ./examples/rmrscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fetchphi/internal/baseline"
+	"fetchphi/internal/core"
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+func worst(b harness.Builder, model memsim.Model, n int) int64 {
+	met, err := harness.Run(b, harness.Workload{
+		Model: model, N: n, Entries: 6, CSOps: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return met.WorstRMR
+}
+
+func main() {
+	algs := []struct {
+		name  string
+		model memsim.Model
+		build harness.Builder
+	}{
+		{"g-dsm (O(1), DSM)", memsim.DSM, func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGDSM(m, phi.FetchAndIncrement{})
+		}},
+		{"tree r=4 (log2 N, DSM)", memsim.DSM, func(m *memsim.Machine) harness.Algorithm {
+			return core.NewTree(m, phi.NewBoundedFetchInc(4))
+		}},
+		{"algorithm T (logN/loglogN, CC)", memsim.CC, func(m *memsim.Machine) harness.Algorithm {
+			return core.NewT(m, phi.BoundedIncDec{})
+		}},
+		{"ticket (baseline, CC)", memsim.CC, func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewTicketLock(m)
+		}},
+	}
+
+	ns := []int{2, 4, 8, 16, 32, 64}
+	fmt.Printf("worst-case RMRs per critical-section entry\n\n")
+	fmt.Printf("%-32s", "algorithm \\ N")
+	for _, n := range ns {
+		fmt.Printf("%6d", n)
+	}
+	fmt.Println()
+	for _, a := range algs {
+		fmt.Printf("%-32s", a.name)
+		for _, n := range ns {
+			fmt.Printf("%6d", worst(a.build, a.model, n))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nshape check: the g-dsm row is flat; tree grows ~log2 N;")
+	fmt.Println("algorithm T grows slower than the tree; ticket grows ~linearly.")
+}

@@ -1,0 +1,3 @@
+module fetchphi
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package baseline implements the previously published spin locks the
+// paper positions itself against (Sec. 1), on the simulated machine:
+//
+//   - test-and-set (TTAS-style) and ticket locks — the classic
+//     non-queue locks, with Θ(N)-ish RMR cost on CC and non-local
+//     spinning on DSM;
+//   - T. Anderson's array lock [3] — O(1) on CC only;
+//   - Graunke and Thakkar's lock [4] — O(1) on CC only;
+//   - the MCS lock [9] in both variants: fetch-and-store plus
+//     compare-and-swap (O(1) on CC and DSM, starvation-free) and
+//     fetch-and-store only (local-spin but not starvation-free);
+//   - the CLH lock — another CC-only local-spin queue lock.
+//
+// Together with internal/core these make up the comparison set of
+// experiments E6 and E7.
+package baseline
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+)
+
+// Word is re-exported for brevity.
+type Word = memsim.Word
+
+// TASLock is a test-and-test-and-set lock on a single global word.
+// Waiting re-reads the lock word, so every waiter pays an RMR per
+// release on CC and spins remotely on DSM.
+type TASLock struct {
+	lock memsim.Var
+}
+
+// NewTASLock allocates the lock on m.
+func NewTASLock(m *memsim.Machine) *TASLock {
+	return &TASLock{lock: m.NewVar("tas.lock", memsim.HomeGlobal, 0)}
+}
+
+// Name implements harness.Algorithm.
+func (l *TASLock) Name() string { return "test-and-set" }
+
+// Acquire implements harness.Algorithm.
+func (l *TASLock) Acquire(p *memsim.Proc) {
+	for {
+		if p.RMW(l.lock, func(Word) Word { return 1 }) == 0 {
+			return
+		}
+		p.AwaitEq(l.lock, 0)
+	}
+}
+
+// Release implements harness.Algorithm.
+func (l *TASLock) Release(p *memsim.Proc) {
+	p.Write(l.lock, 0)
+}
+
+// TicketLock serializes processes with a fetch-and-increment ticket
+// dispenser and a grant counter all waiters watch.
+type TicketLock struct {
+	next  memsim.Var
+	owner memsim.Var
+	my    []Word // private: ticket held by each process
+}
+
+// NewTicketLock allocates the lock on m.
+func NewTicketLock(m *memsim.Machine) *TicketLock {
+	return &TicketLock{
+		next:  m.NewVar("ticket.next", memsim.HomeGlobal, 0),
+		owner: m.NewVar("ticket.owner", memsim.HomeGlobal, 0),
+		my:    make([]Word, m.NumProcs()),
+	}
+}
+
+// Name implements harness.Algorithm.
+func (l *TicketLock) Name() string { return "ticket" }
+
+// Acquire implements harness.Algorithm.
+func (l *TicketLock) Acquire(p *memsim.Proc) {
+	t := p.RMW(l.next, func(x Word) Word { return x + 1 })
+	l.my[p.ID()] = t
+	p.AwaitEq(l.owner, t)
+}
+
+// Release implements harness.Algorithm.
+func (l *TicketLock) Release(p *memsim.Proc) {
+	p.Write(l.owner, l.my[p.ID()]+1)
+}
+
+// AndersonLock is T. Anderson's array-based queue lock [3]: a
+// fetch-and-increment on a tail counter assigns each process a slot in
+// a circular array of flags; each process spins on its own slot and the
+// releaser sets the successor slot. Slots are dynamically assigned, so
+// on CC the spin is local (cacheable) but on DSM it is not — exactly
+// the paper's Sec. 1 characterization.
+type AndersonLock struct {
+	tail  memsim.Var
+	slots []memsim.Var
+	mine  []int // private: slot currently held by each process
+}
+
+// NewAndersonLock allocates the lock on m.
+func NewAndersonLock(m *memsim.Machine) *AndersonLock {
+	n := m.NumProcs()
+	l := &AndersonLock{
+		tail:  m.NewVar("anderson.tail", memsim.HomeGlobal, 0),
+		slots: make([]memsim.Var, n),
+		mine:  make([]int, n),
+	}
+	for i := range l.slots {
+		// Slot i is homed at process i, which is the best possible
+		// static placement — and still not local-spin, because slot
+		// assignment rotates.
+		init := Word(0)
+		if i == 0 {
+			init = 1 // slot 0 starts as "has lock"
+		}
+		l.slots[i] = m.NewVar(fmt.Sprintf("anderson.slot[%d]", i), i, init)
+	}
+	return l
+}
+
+// Name implements harness.Algorithm.
+func (l *AndersonLock) Name() string { return "t-anderson" }
+
+// Acquire implements harness.Algorithm.
+func (l *AndersonLock) Acquire(p *memsim.Proc) {
+	n := len(l.slots)
+	slot := int(p.RMW(l.tail, func(x Word) Word { return x + 1 })) % n
+	l.mine[p.ID()] = slot
+	p.AwaitTrue(l.slots[slot])
+	p.Write(l.slots[slot], 0)
+}
+
+// Release implements harness.Algorithm.
+func (l *AndersonLock) Release(p *memsim.Proc) {
+	next := (l.mine[p.ID()] + 1) % len(l.slots)
+	p.Write(l.slots[next], 1)
+}
+
+// GraunkeThakkarLock is Graunke and Thakkar's queue lock [4]: the tail
+// word holds (process, flag-value-at-enqueue); a fetch-and-store
+// enqueues, and each process waits for its predecessor's per-process
+// flag to flip. Spinning is on the predecessor's flag: cacheable on CC,
+// remote on DSM.
+type GraunkeThakkarLock struct {
+	tail  memsim.Var
+	flags []memsim.Var // per process, plus a dummy slot n
+}
+
+// NewGraunkeThakkarLock allocates the lock on m.
+func NewGraunkeThakkarLock(m *memsim.Machine) *GraunkeThakkarLock {
+	n := m.NumProcs()
+	l := &GraunkeThakkarLock{flags: make([]memsim.Var, n+1)}
+	for i := 0; i <= n; i++ {
+		home := i
+		if i == n {
+			home = memsim.HomeGlobal // dummy predecessor
+		}
+		l.flags[i] = m.NewVar(fmt.Sprintf("gt.flag[%d]", i), home, 0)
+	}
+	// The dummy's flag is 0 and the tail claims it enqueued with
+	// value 1, so the first acquirer sees "flag ≠ enqueue value" and
+	// proceeds immediately.
+	l.tail = m.NewVar("gt.tail", memsim.HomeGlobal, encodeTag(n, 1))
+	return l
+}
+
+// encodeTag packs (process, flag bit) into a nonzero word.
+func encodeTag(p, bit int) Word { return Word(2*p+bit) + 1 }
+
+// decodeTag inverts encodeTag.
+func decodeTag(w Word) (p, bit int) {
+	v := int(w - 1)
+	return v / 2, v % 2
+}
+
+// Name implements harness.Algorithm.
+func (l *GraunkeThakkarLock) Name() string { return "graunke-thakkar" }
+
+// Acquire implements harness.Algorithm.
+func (l *GraunkeThakkarLock) Acquire(p *memsim.Proc) {
+	me := p.ID()
+	mine := p.Read(l.flags[me])
+	old := p.RMW(l.tail, func(Word) Word { return encodeTag(me, int(mine)) })
+	pred, predFlag := decodeTag(old)
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(l.flags[pred]) != Word(predFlag)
+	}, l.flags[pred])
+}
+
+// Release implements harness.Algorithm.
+func (l *GraunkeThakkarLock) Release(p *memsim.Proc) {
+	me := p.ID()
+	cur := p.Read(l.flags[me])
+	p.Write(l.flags[me], 1-cur)
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"fetchphi/internal/memsim"
+)
+
+// mcsProbe builds the FIFO probe shared by the two tests below:
+//
+//	p0 acquires first and holds until p1 has swapped itself into the
+//	tail (but, crucially, has not yet linked its predecessor's next
+//	pointer — the in-flight window the swap-only release races with);
+//	p2 starts its acquisition only after p1's swap.
+//
+// A FIFO lock must then admit p1 before p2. The enqueue is inlined for
+// p1 so the probe can signal from inside the window.
+func mcsProbe(t *testing.T, tail memsim.Var, next, locked []memsim.Var,
+	acquire, release func(*memsim.Proc), m *memsim.Machine, order *[]int) {
+	t.Helper()
+	p0Holds := m.NewVar("probe.p0Holds", memsim.HomeGlobal, 0)
+	p1Arrived := m.NewVar("probe.p1Arrived", memsim.HomeGlobal, 0)
+	enter := func(p *memsim.Proc) {
+		p.EnterCS()
+		*order = append(*order, p.ID())
+		p.ExitCS()
+	}
+	m.AddProc("p0", func(p *memsim.Proc) {
+		acquire(p)
+		p.Write(p0Holds, 1)
+		enter(p)
+		p.AwaitTrue(p1Arrived) // release only after p1 is in flight
+		release(p)
+	})
+	m.AddProc("p1", func(p *memsim.Proc) {
+		p.AwaitTrue(p0Holds)
+		// Inlined MCS enqueue with a signal inside the swap-to-link
+		// window.
+		me := p.ID()
+		p.Write(next[me], 0)
+		pred := p.RMW(tail, func(memsim.Word) memsim.Word { return memsim.Word(me) + 1 })
+		p.Write(p1Arrived, 1)
+		if pred != 0 {
+			p.Write(locked[me], 1)
+			p.Write(next[pred-1], memsim.Word(me)+1)
+			p.AwaitEq(locked[me], 0)
+		}
+		enter(p)
+		release(p)
+	})
+	m.AddProc("p2", func(p *memsim.Proc) {
+		p.AwaitTrue(p1Arrived)
+		acquire(p)
+		enter(p)
+		release(p)
+	})
+}
+
+// TestMCSSwapOnlyViolatesFIFO demonstrates the behavior the paper
+// cites when calling the fetch-and-store-only MCS variant not
+// starvation-free: its release can momentarily empty the queue while a
+// waiter is mid-enqueue, letting a later arrival ("usurper") enter
+// first. Under random schedules some seed exhibits CS order
+// p0, p2, p1 even though p1 arrived strictly before p2.
+func TestMCSSwapOnlyViolatesFIFO(t *testing.T) {
+	for seed := int64(0); seed < 3000; seed++ {
+		var order []int
+		m := memsim.NewMachine(memsim.CC, 3)
+		l := NewMCSSwapOnlyLock(m)
+		mcsProbe(t, l.tail, l.next, l.locked, l.Acquire, l.Release, m, &order)
+		if err := m.Run(memsim.RunConfig{Sched: memsim.NewRandom(seed)}).Err(); err != nil {
+			t.Fatalf("seed %d: swap-only MCS broke outright: %v", seed, err)
+		}
+		if len(order) == 3 && order[0] == 0 && order[1] == 2 && order[2] == 1 {
+			t.Logf("usurper bypass found at seed %d: CS order %v", seed, order)
+			return
+		}
+	}
+	t.Fatal("no seed produced the usurper bypass; demonstration broken")
+}
+
+// TestMCSStandardIsFIFO is the contrast: with the identical probe, the
+// swap+CAS MCS lock admits p1 before p2 on every explored schedule —
+// its release never orphans an in-flight waiter.
+func TestMCSStandardIsFIFO(t *testing.T) {
+	var order []int
+	build := func() *memsim.Machine {
+		order = order[:0]
+		m := memsim.NewMachine(memsim.CC, 3)
+		l := NewMCSLock(m)
+		mcsProbe(t, l.tail, l.next, l.locked, l.Acquire, l.Release, m, &order)
+		return m
+	}
+
+	check := func(label string) {
+		t.Helper()
+		if len(order) == 3 && order[1] == 2 && order[2] == 1 {
+			t.Fatalf("%s: standard MCS let the later arrival overtake: %v", label, order)
+		}
+	}
+
+	// Exhaustive within the preemption bound, with the FIFO property
+	// checked after every explored schedule...
+	e := &memsim.Explorer{
+		Build: build, MaxPreemptions: 2, MaxSteps: 50_000, MaxRuns: 500_000,
+		Check: func(memsim.Result) error {
+			if len(order) == 3 && order[1] == 2 && order[2] == 1 {
+				return fmt.Errorf("later arrival overtook: CS order %v", order)
+			}
+			return nil
+		},
+	}
+	res := e.Run()
+	if res.Err != nil {
+		t.Fatalf("standard MCS failed: %v (schedule %v)", res.Err, res.FailingSchedule)
+	}
+	if !res.Exhausted {
+		t.Fatalf("not exhausted in %d runs", res.Runs)
+	}
+	// ... plus the same random sweep the violation test uses.
+	for seed := int64(0); seed < 3000; seed++ {
+		m := build()
+		if err := m.Run(memsim.RunConfig{Sched: memsim.NewRandom(seed)}).Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		check("seed sweep")
+	}
+}

@@ -1,0 +1,190 @@
+package baseline
+
+import "fetchphi/internal/memsim"
+
+// This file implements the Mellor-Crummey & Scott queue lock [9] in the
+// two variants the paper distinguishes (Sec. 1):
+//
+//   - MCSLock: the standard variant using fetch-and-store to enqueue
+//     and compare-and-swap to dequeue. Local-spin on both CC and DSM,
+//     starvation-free, O(1) RMR.
+//   - MCSSwapOnlyLock: the variant using only fetch-and-store (from
+//     the MCS paper's appendix). Still local-spin, but NOT
+//     starvation-free: the release path momentarily empties the queue
+//     and re-links "usurpers", so a waiting process can be bypassed
+//     arbitrarily often.
+//
+// Both use a per-process queue node (next pointer + locked flag) homed
+// at its owner, so all spinning is local on DSM.
+
+// nilID is the encoding of a nil node pointer.
+const nilID Word = 0
+
+func procID(p *memsim.Proc) Word { return Word(p.ID()) + 1 }
+
+// MCSLock is the fetch-and-store + compare-and-swap MCS variant.
+type MCSLock struct {
+	tail   memsim.Var
+	next   []memsim.Var // next[p]: successor pointer, homed at p
+	locked []memsim.Var // locked[p]: spin flag, homed at p
+}
+
+// NewMCSLock allocates the lock on m.
+func NewMCSLock(m *memsim.Machine) *MCSLock {
+	return &MCSLock{
+		tail:   m.NewVar("mcs.tail", memsim.HomeGlobal, nilID),
+		next:   m.NewPerProcArray("mcs.next", nilID),
+		locked: m.NewPerProcArray("mcs.locked", 0),
+	}
+}
+
+// Name implements harness.Algorithm.
+func (l *MCSLock) Name() string { return "mcs" }
+
+// Acquire implements harness.Algorithm.
+func (l *MCSLock) Acquire(p *memsim.Proc) {
+	me := p.ID()
+	p.Write(l.next[me], nilID)
+	pred := p.RMW(l.tail, func(Word) Word { return procID(p) })
+	if pred != nilID {
+		p.Write(l.locked[me], 1)
+		p.Write(l.next[pred-1], procID(p))
+		p.AwaitEq(l.locked[me], 0)
+	}
+}
+
+// Release implements harness.Algorithm.
+func (l *MCSLock) Release(p *memsim.Proc) {
+	me := p.ID()
+	if p.Read(l.next[me]) == nilID {
+		// Try to swing the tail back to nil; if it still points at
+		// us, no successor can exist.
+		if p.RMW(l.tail, func(t Word) Word {
+			if t == procID(p) {
+				return nilID
+			}
+			return t
+		}) == procID(p) {
+			return
+		}
+		// A successor is mid-enqueue: wait for it to link itself.
+		p.AwaitNonBottom(l.next[me])
+	}
+	succ := p.Read(l.next[me])
+	p.Write(l.locked[succ-1], 0)
+}
+
+// MCSSwapOnlyLock is the compare-and-swap-free MCS variant. Its release
+// path, upon finding no linked successor, swaps nil into the tail; if
+// other processes enqueued in the meantime ("usurpers"), it swaps the
+// old tail back and splices the orphaned waiters behind the usurpers —
+// which is what breaks starvation freedom.
+type MCSSwapOnlyLock struct {
+	tail   memsim.Var
+	next   []memsim.Var
+	locked []memsim.Var
+}
+
+// NewMCSSwapOnlyLock allocates the lock on m.
+func NewMCSSwapOnlyLock(m *memsim.Machine) *MCSSwapOnlyLock {
+	return &MCSSwapOnlyLock{
+		tail:   m.NewVar("mcs2.tail", memsim.HomeGlobal, nilID),
+		next:   m.NewPerProcArray("mcs2.next", nilID),
+		locked: m.NewPerProcArray("mcs2.locked", 0),
+	}
+}
+
+// Name implements harness.Algorithm.
+func (l *MCSSwapOnlyLock) Name() string { return "mcs-swap-only" }
+
+// Acquire implements harness.Algorithm.
+func (l *MCSSwapOnlyLock) Acquire(p *memsim.Proc) {
+	me := p.ID()
+	p.Write(l.next[me], nilID)
+	pred := p.RMW(l.tail, func(Word) Word { return procID(p) })
+	if pred != nilID {
+		p.Write(l.locked[me], 1)
+		p.Write(l.next[pred-1], procID(p))
+		p.AwaitEq(l.locked[me], 0)
+	}
+}
+
+// Release implements harness.Algorithm.
+func (l *MCSSwapOnlyLock) Release(p *memsim.Proc) {
+	me := p.ID()
+	if p.Read(l.next[me]) == nilID {
+		old := p.RMW(l.tail, func(Word) Word { return nilID })
+		if old == procID(p) {
+			return // queue really was just us
+		}
+		// Processes enqueued after us; the swap orphaned them. Put
+		// the tail back, then hand our (eventual) successor chain to
+		// the usurper that now heads the queue.
+		usurper := p.RMW(l.tail, func(Word) Word { return old })
+		p.AwaitNonBottom(l.next[me])
+		succ := p.Read(l.next[me])
+		if usurper != nilID {
+			// Splice our successors behind the usurpers; they wait
+			// through another full queue pass (unfairness!).
+			p.Write(l.next[usurper-1], succ)
+		} else {
+			p.Write(l.locked[succ-1], 0)
+		}
+		return
+	}
+	succ := p.Read(l.next[me])
+	p.Write(l.locked[succ-1], 0)
+}
+
+// CLHLock is the Craig / Landin-Hagersten queue lock: a process
+// enqueues by swapping its own node into the tail and spins on its
+// predecessor's node. The spin target belongs to another process, so
+// CLH is local-spin on CC but not on DSM — a useful contrast to MCS.
+type CLHLock struct {
+	tail  memsim.Var
+	nodes []memsim.Var // locked flags, one per node (N+1 nodes)
+	mine  []Word       // private: node currently owned by each process
+	pred  []Word       // private: predecessor node to adopt after release
+}
+
+// NewCLHLock allocates the lock on m.
+func NewCLHLock(m *memsim.Machine) *CLHLock {
+	n := m.NumProcs()
+	l := &CLHLock{
+		nodes: make([]memsim.Var, n+1),
+		mine:  make([]Word, n),
+		pred:  make([]Word, n),
+	}
+	for i := 0; i <= n; i++ {
+		home := i
+		if i == n {
+			home = memsim.HomeGlobal // initial dummy node
+		}
+		l.nodes[i] = m.NewVar("clh.node", home, 0)
+	}
+	for i := 0; i < n; i++ {
+		l.mine[i] = Word(i)
+	}
+	l.tail = m.NewVar("clh.tail", memsim.HomeGlobal, Word(n))
+	return l
+}
+
+// Name implements harness.Algorithm.
+func (l *CLHLock) Name() string { return "clh" }
+
+// Acquire implements harness.Algorithm.
+func (l *CLHLock) Acquire(p *memsim.Proc) {
+	me := p.ID()
+	node := l.mine[me]
+	p.Write(l.nodes[node], 1)
+	pred := p.RMW(l.tail, func(Word) Word { return node })
+	l.pred[me] = pred
+	p.AwaitEq(l.nodes[pred], 0)
+}
+
+// Release implements harness.Algorithm.
+func (l *CLHLock) Release(p *memsim.Proc) {
+	me := p.ID()
+	p.Write(l.nodes[l.mine[me]], 0)
+	l.mine[me] = l.pred[me] // adopt the predecessor's node
+}

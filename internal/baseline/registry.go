@@ -1,0 +1,20 @@
+package baseline
+
+import (
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+)
+
+// Builders returns a harness builder for every baseline lock, in a
+// stable report order.
+func Builders() []harness.Builder {
+	return []harness.Builder{
+		func(m *memsim.Machine) harness.Algorithm { return NewTASLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewTicketLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewAndersonLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewGraunkeThakkarLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewMCSLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewMCSSwapOnlyLock(m) },
+		func(m *memsim.Machine) harness.Algorithm { return NewCLHLock(m) },
+	}
+}

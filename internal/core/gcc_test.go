@@ -1,0 +1,226 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+// gccBuilder returns a builder for G-CC over the primitive chosen by
+// pick (called with N so rank-parameterized primitives can size
+// themselves).
+func gccBuilder(pick func(n int) phi.Primitive) harness.Builder {
+	return func(m *memsim.Machine) harness.Algorithm {
+		return NewGCC(m, pick(m.NumProcs()))
+	}
+}
+
+func gdsmBuilder(pick func(n int) phi.Primitive) harness.Builder {
+	return func(m *memsim.Machine) harness.Algorithm {
+		return NewGDSM(m, pick(m.NumProcs()))
+	}
+}
+
+// genericPrimitives are the rank ≥ 2N primitives both generic
+// algorithms accept.
+func genericPrimitives() map[string]func(n int) phi.Primitive {
+	return map[string]func(n int) phi.Primitive{
+		"fetch-and-increment": func(int) phi.Primitive { return phi.FetchAndIncrement{} },
+		"fetch-and-store":     func(int) phi.Primitive { return phi.FetchAndStore{} },
+		"bounded-2N":          func(n int) phi.Primitive { return phi.NewBoundedFetchInc(2 * n) },
+		"fetch-and-add":       func(int) phi.Primitive { return phi.FetchAndAdd{} },
+	}
+}
+
+// TestGCCCorrectUnderRandomSchedules stresses G-CC with every
+// primitive. Many entries per process force repeated queue exchanges,
+// exercising the reset mechanism across generations.
+func TestGCCCorrectUnderRandomSchedules(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	for name, pick := range genericPrimitives() {
+		pick := pick
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := harness.Verify(gccBuilder(pick), 4, 12, seeds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGDSMCorrectUnderRandomSchedules does the same for G-DSM.
+func TestGDSMCorrectUnderRandomSchedules(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	for name, pick := range genericPrimitives() {
+		pick := pick
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := harness.Verify(gdsmBuilder(pick), 4, 12, seeds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGCCModelChecked exhaustively explores small configurations.
+func TestGCCModelChecked(t *testing.T) {
+	maxRuns := 300_000
+	if testing.Short() {
+		maxRuns = 30_000
+	}
+	if err := harness.Check(gccBuilder(func(int) phi.Primitive { return phi.FetchAndIncrement{} }),
+		2, 2, 2, maxRuns); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGDSMModelChecked exhaustively explores small configurations.
+func TestGDSMModelChecked(t *testing.T) {
+	maxRuns := 300_000
+	if testing.Short() {
+		maxRuns = 30_000
+	}
+	if err := harness.Check(gdsmBuilder(func(int) phi.Primitive { return phi.FetchAndStore{} }),
+		2, 2, 2, maxRuns); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCCConstantRMROnCC is the Lemma 1 shape check: worst-case RMR per
+// entry on CC must not grow with N.
+func TestGCCConstantRMROnCC(t *testing.T) {
+	worstAt := func(n int) int64 {
+		met, err := harness.Run(gccBuilder(func(int) phi.Primitive { return phi.FetchAndIncrement{} }),
+			harness.Workload{Model: memsim.CC, N: n, Entries: 6, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.WorstRMR
+	}
+	w4, w32 := worstAt(4), worstAt(32)
+	if w32 > 2*w4 {
+		t.Errorf("worst RMR grew with N: %d (N=4) → %d (N=32)", w4, w32)
+	}
+}
+
+// TestGDSMConstantRMROnDSM is the Lemma 2 shape check, plus the
+// local-spin assertion.
+func TestGDSMConstantRMROnDSM(t *testing.T) {
+	worstAt := func(n int) int64 {
+		met, err := harness.Run(gdsmBuilder(func(int) phi.Primitive { return phi.FetchAndStore{} }),
+			harness.Workload{Model: memsim.DSM, N: n, Entries: 6, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.NonLocalSpins != 0 {
+			t.Fatalf("N=%d: %d non-local spin reads on DSM", n, met.NonLocalSpins)
+		}
+		return met.WorstRMR
+	}
+	w4, w32 := worstAt(4), worstAt(32)
+	if w32 > 2*w4 {
+		t.Errorf("worst RMR grew with N: %d (N=4) → %d (N=32)", w4, w32)
+	}
+}
+
+// TestGCCSpinsRemotelyOnDSM shows why the transformation exists: G-CC
+// run on a DSM machine spins on variables it does not own.
+func TestGCCSpinsRemotelyOnDSM(t *testing.T) {
+	met, err := harness.Run(gccBuilder(func(int) phi.Primitive { return phi.FetchAndIncrement{} }),
+		harness.Workload{Model: memsim.DSM, N: 6, Entries: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.NonLocalSpins == 0 {
+		t.Error("expected non-local spinning for G-CC on DSM, saw none")
+	}
+}
+
+// TestGCCBoundedBypass checks starvation freedom via the fairness
+// metric: no process is overtaken unboundedly while in its entry
+// section.
+func TestGCCBoundedBypass(t *testing.T) {
+	const n = 6
+	for name, b := range map[string]harness.Builder{
+		"g-cc":  gccBuilder(func(int) phi.Primitive { return phi.FetchAndIncrement{} }),
+		"g-dsm": gdsmBuilder(func(int) phi.Primitive { return phi.FetchAndIncrement{} }),
+	} {
+		met, err := harness.Run(b, harness.Workload{
+			Model: memsim.CC, N: n, Entries: 25, Seed: 9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if met.MaxBypass > int64(3*n) {
+			t.Errorf("%s: max bypass %d exceeds 3N", name, met.MaxBypass)
+		}
+	}
+}
+
+// TestGCCRejectsLowRankPrimitive: construction must fail fast when the
+// primitive cannot order 2N invocations.
+func TestGCCRejectsLowRankPrimitive(t *testing.T) {
+	m := memsim.NewMachine(memsim.CC, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for rank-2 primitive")
+		}
+		if !strings.Contains(r.(string), "rank") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	NewGCC(m, phi.TestAndSet{})
+}
+
+// TestGCCQueueExchangeHappens confirms the reset mechanism actually
+// runs in the stress workloads (otherwise the 2N-rank machinery is
+// untested): with N=2 and many entries, the bounded-rank primitive
+// would die without exchanges.
+func TestGCCQueueExchangeHappens(t *testing.T) {
+	met, err := harness.Run(gccBuilder(func(n int) phi.Primitive { return phi.NewBoundedFetchInc(2 * n) }),
+		harness.Workload{Model: memsim.CC, N: 2, Entries: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 entries with rank 4 means at least ~20 generations; mere
+	// completion proves the exchanges worked. Sanity-check effort:
+	if met.Result.CSEntries != 80 {
+		t.Fatalf("completed %d entries", met.Result.CSEntries)
+	}
+}
+
+// TestGCCStaleSignalAblation demonstrates the E8a ablation: without the
+// stale-signal completion, some random schedule violates mutual
+// exclusion or wedges the queue discipline.
+func TestGCCStaleSignalAblation(t *testing.T) {
+	builder := func(m *memsim.Machine) harness.Algorithm {
+		return NewGCCWithoutStaleClear(m, phi.FetchAndIncrement{})
+	}
+	seeds := 60
+	if testing.Short() {
+		seeds = 20
+	}
+	for _, n := range []int{2, 3} {
+		for seed := 0; seed < seeds; seed++ {
+			_, err := harness.Run(builder, harness.Workload{
+				Model: memsim.CC, N: n, Entries: 60, Seed: int64(seed),
+				MaxSteps: 2_000_000,
+			})
+			if err != nil {
+				t.Logf("ablation failed as expected (N=%d, seed %d): %v", n, seed, err)
+				return
+			}
+		}
+	}
+	t.Error("printed algorithm without stale-signal clear survived all schedules; ablation did not demonstrate the hazard")
+}

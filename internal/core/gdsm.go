@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+	"fetchphi/internal/twoproc"
+)
+
+// GDSM is Algorithm G-DSM (Fig. 3): Algorithm G-CC with every busy
+// wait converted by the Sec. 3 transformation, so that all spinning is
+// on per-process variables homed at the spinner. It has O(1) RMR
+// complexity on DSM (and CC) machines for any primitive of rank ≥ 2N.
+//
+// The two condition-site families of Fig. 3 are:
+//
+//   - queue sites, keyed by (queue, fetch-and-φ value): an enqueuer
+//     waits for its predecessor's Signal[idx][prev] (Waiter2 in the
+//     paper's variable list);
+//   - process sites, keyed by process id: an exiting process at
+//     position q waits for process q to leave the old queue (Waiter1).
+//
+// Fig. 3's boldface lines map to Site.Wait (13–21, 28–36) and
+// Site.Signal (4–8, 41–45, 46–50).
+type GDSM struct {
+	m     *memsim.Machine
+	prim  phi.Primitive
+	slots int
+
+	currentQueue memsim.Var
+	tail         [2]memsim.Var
+	position     [2]memsim.Var
+	signal       [2]*memsim.Dict
+	active       []memsim.Var
+	queueID      []memsim.Var
+	two          *twoproc.Mutex
+
+	procSites *SiteSet // Waiter1 sites, keyed by process id
+	queueSite *SiteSet // Waiter2 sites, keyed by (queue, value)
+
+	// noExitWait enables the exit-handshake extension the paper
+	// sketches after presenting G-CC ("with a slightly more
+	// complicated handshake, such waiting can be eliminated"): an
+	// exiting process that finds its position's process q still in
+	// the old queue does not wait for q — it registers a delegation
+	// in delegate[q] (atomically with q's state, via q's process
+	// site) instructing q to signal the successor when q finishes.
+	noExitWait bool
+	// delegate[q] holds an encoded (queue, value) successor signal q
+	// must fire, or 0.
+	delegate []memsim.Var
+
+	st []gccState // same private state shape as G-CC
+}
+
+// NewGDSM builds an instance for m's N processes on top of prim, whose
+// rank must be at least 2N.
+func NewGDSM(m *memsim.Machine, prim phi.Primitive) *GDSM {
+	return NewGDSMSized(m, prim, m.NumProcs(), "gdsm")
+}
+
+// NewGDSMNoExitWait builds G-DSM with the exit-handshake extension:
+// exit sections never block waiting for an old-queue process (the
+// paper's sketched improvement). The successor signal is delegated to
+// the process being waited on and fired when it finishes.
+func NewGDSMNoExitWait(m *memsim.Machine, prim phi.Primitive) *GDSM {
+	g := NewGDSMSized(m, prim, m.NumProcs(), "gdsm-nw")
+	g.noExitWait = true
+	return g
+}
+
+// NewGDSMSized builds an instance arbitrating `slots` competitors; see
+// NewGCCSized for the slot contract. prim's rank must be at least
+// 2·slots.
+func NewGDSMSized(m *memsim.Machine, prim phi.Primitive, slots int, name string) *GDSM {
+	if r := prim.Rank(); r < 2*slots {
+		panic(fmt.Sprintf("core: G-DSM needs rank >= 2N = %d, but %s has rank %d", 2*slots, prim.Name(), r))
+	}
+	g := &GDSM{
+		m:            m,
+		prim:         prim,
+		slots:        slots,
+		currentQueue: m.NewVar(name+".CurrentQueue", memsim.HomeGlobal, 0),
+		tail: [2]memsim.Var{
+			m.NewVar(name+".Tail[0]", memsim.HomeGlobal, phi.Bottom),
+			m.NewVar(name+".Tail[1]", memsim.HomeGlobal, phi.Bottom),
+		},
+		position: [2]memsim.Var{
+			m.NewVar(name+".Position[0]", memsim.HomeGlobal, 0),
+			m.NewVar(name+".Position[1]", memsim.HomeGlobal, 0),
+		},
+		signal: [2]*memsim.Dict{
+			m.NewDict(name+".Signal[0]", memsim.HomeGlobal, 0),
+			m.NewDict(name+".Signal[1]", memsim.HomeGlobal, 0),
+		},
+		active:    m.NewArray(name+".Active", slots, memsim.HomeGlobal, 0),
+		queueID:   m.NewArray(name+".QueueId", slots, memsim.HomeGlobal, qidBottom),
+		two:       twoproc.New(m, name+".two"),
+		procSites: NewSiteSet(m, name+".W1"),
+		queueSite: NewSiteSet(m, name+".W2"),
+		st:        make([]gccState, slots),
+	}
+	g.delegate = m.NewArray(name+".Delegate", m.NumProcs(), memsim.HomeGlobal, 0)
+	for s := 0; s < slots; s++ {
+		g.st[s].inv = phi.NewInvoker(prim, s)
+	}
+	return g
+}
+
+// Name implements harness.Algorithm.
+func (g *GDSM) Name() string {
+	if g.noExitWait {
+		return "g-dsm-nowait/" + g.prim.Name()
+	}
+	return "g-dsm/" + g.prim.Name()
+}
+
+// queueKey packs a (queue index, fetch-and-φ value) site key.
+func queueKey(idx int, v Word) Word { return v<<1 | Word(idx) }
+
+// Acquire implements the entry section (Fig. 3, lines 1–22) with the
+// caller's process id as the slot.
+func (g *GDSM) Acquire(p *memsim.Proc) { g.AcquireSlot(p, p.ID()) }
+
+// Release implements the exit section with the caller's id as slot.
+func (g *GDSM) Release(p *memsim.Proc) { g.ReleaseSlot(p, p.ID()) }
+
+// AcquireSlot performs the entry section for the competitor occupying
+// the given slot.
+func (g *GDSM) AcquireSlot(p *memsim.Proc, slot int) {
+	st := &g.st[slot]
+	me := slot
+
+	p.Write(g.queueID[me], qidBottom)  // 1
+	p.Write(g.active[me], 1)           // 2
+	idx := int(p.Read(g.currentQueue)) // 3
+	// 4–8: setting QueueId[p] may release an exit-section waiter —
+	// or, with the handshake extension, pick up a delegated
+	// successor signal to fire.
+	g.signalSelfSite(p, me, func() {
+		p.Write(g.queueID[me], qidQueue0+Word(idx)) // 5
+	})
+	input := st.inv.UpdateInput()                  // 11 (counter advance)
+	prev := p.FetchPhi(g.tail[idx], g.prim, input) // 9
+	self := g.prim.Apply(prev, input)              // 10
+	if prev != phi.Bottom {                        // 12
+		sig := g.signal[idx].At(prev)
+		// 13–20: wait for the predecessor's signal, spinning locally.
+		g.queueSite.At(queueKey(idx, prev)).Wait(p, func(read func(memsim.Var) Word) bool {
+			return read(sig) != 0 // 14
+		})
+		p.Write(sig, 0) // 21
+	}
+	g.two.Acquire(p, idx) // 22
+
+	st.idx, st.self = idx, self
+}
+
+// ReleaseSlot performs the exit section for the competitor occupying
+// the given slot.
+func (g *GDSM) ReleaseSlot(p *memsim.Proc, slot int) {
+	st := &g.st[slot]
+	idx := st.idx
+	me := slot
+
+	pos := p.Read(g.position[idx])  // 23
+	p.Write(g.position[idx], pos+1) // 24
+	g.two.Release(p, idx)           // 25
+	delegated := false
+	switch {
+	case pos < Word(g.slots) && pos != Word(me) && p.Read(g.active[pos]) != 0: // 26
+		q := int(pos) // 27
+		if g.noExitWait {
+			// Handshake extension: atomically with q's own state
+			// transitions (the site mutex), either observe q done /
+			// in my queue (no action needed) or leave q the duty of
+			// signalling my successor.
+			g.procSites.At(pos).Visit(p, func() {
+				stillOld := p.Read(g.active[q]) != 0 && p.Read(g.queueID[q]) != qidQueue0+Word(idx)
+				if stillOld {
+					p.Write(g.delegate[q], queueKey(idx, st.self)+1)
+					delegated = true
+				}
+			})
+		} else {
+			// 28–36: wait for q to finish or reveal itself in my
+			// queue.
+			g.procSites.At(pos).Wait(p, func(read func(memsim.Var) Word) bool {
+				return read(g.active[q]) == 0 || read(g.queueID[q]) == qidQueue0+Word(idx)
+			})
+		}
+	case pos == Word(g.slots): // 37
+		g.exchangeQueues(p, idx)
+	}
+	if !delegated {
+		// 41–45: signal the successor in my queue.
+		g.signalSuccessor(p, idx, st.self)
+	}
+	// 46–50: go inactive, possibly releasing an exit-section waiter —
+	// and fire any successor signal delegated to us.
+	g.signalSelfSite(p, me, func() {
+		p.Write(g.active[me], 0) // 47
+	})
+}
+
+// signalSuccessor performs Fig. 3 lines 41–45 for the given queue and
+// fetch-and-φ value — by the owning process, or by a delegate under
+// the handshake extension.
+func (g *GDSM) signalSuccessor(p *memsim.Proc, idx int, self Word) {
+	sig := g.signal[idx].At(self)
+	g.queueSite.At(queueKey(idx, self)).Signal(p, func() {
+		p.Write(sig, 1) // 42
+	})
+}
+
+// signalSelfSite runs one of the two establishing writes on process
+// me's own site (Fig. 3 lines 4–8 and 46–50) and, under the handshake
+// extension, drains a pending delegation: the establishment that makes
+// the exit-waiter's condition true is exactly the moment the delegated
+// successor signal becomes ours to fire.
+func (g *GDSM) signalSelfSite(p *memsim.Proc, me int, establish func()) {
+	var duty Word
+	g.procSites.At(Word(me)).Signal(p, func() {
+		establish()
+		if g.noExitWait {
+			duty = p.Read(g.delegate[me])
+			if duty != 0 {
+				p.Write(g.delegate[me], 0)
+			}
+		}
+	})
+	if duty != 0 {
+		k := duty - 1
+		g.signalSuccessor(p, int(k&1), k>>1)
+	}
+}
+
+// exchangeQueues is identical to G-CC's (Fig. 3 lines 38–40), including
+// the stale-signal completion described on GCC.exchangeQueues.
+func (g *GDSM) exchangeQueues(p *memsim.Proc, idx int) {
+	old := 1 - idx
+	g.assertOldQueueEmpty(p, old)
+	if last := p.Read(g.tail[old]); last != phi.Bottom {
+		p.Write(g.signal[old].At(last), 0)
+	}
+	p.Write(g.tail[old], phi.Bottom)
+	p.Write(g.position[old], 0)
+	p.Write(g.currentQueue, Word(old))
+}
+
+// assertOldQueueEmpty checks invariant (I1) host-side, as in GCC.
+func (g *GDSM) assertOldQueueEmpty(p *memsim.Proc, old int) {
+	for slot := 0; slot < g.slots; slot++ {
+		if g.m.Value(g.active[slot]) != 0 && g.m.Value(g.queueID[slot]) == qidQueue0+Word(old) {
+			p.Fail("core: invariant I1 violated: slot %d still active in old queue %d at exchange", slot, old)
+		}
+	}
+}
+
+// Compile-time check that both variants expose the same surface.
+var _ = []interface {
+	Name() string
+	Acquire(*memsim.Proc)
+	Release(*memsim.Proc)
+}{(*GCC)(nil), (*GDSM)(nil)}

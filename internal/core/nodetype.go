@@ -1,0 +1,98 @@
+package core
+
+import "fetchphi/internal/memsim"
+
+// This file implements the Node_Type object of Fig. 5: a variable
+// holding a (winner, waiter) pair of process identities, accessed by
+// the atomic Acquire_Node and Release_Node operations (plus ordinary
+// reads and writes). Algorithm T0 represents each arbitration-tree
+// node with one such variable.
+//
+// The pair is packed into a single simulated word: winner+1 in the
+// high bits, waiter+1 in the low bits, with (⊥, ⊥) encoded as 0 so a
+// fresh variable is an available node.
+
+// nodeShift separates the winner and waiter fields; it bounds N at
+// 2^20−2 processes, far beyond anything the simulator runs.
+const nodeShift = 20
+
+// AcquireResult is the outcome of an Acquire_Node invocation.
+type AcquireResult int
+
+// The three Acquire_Node outcomes of Fig. 5.
+const (
+	// Winner: the node was (⊥, ⊥) and now records the caller as its
+	// winner; the caller proceeds to the next level.
+	Winner AcquireResult = iota
+	// PrimaryWaiter: the node had a winner but no waiter; the caller
+	// is now recorded as the waiter and must wait for promotion.
+	PrimaryWaiter
+	// SecondaryWaiter: the node had both a winner and a waiter; the
+	// node is unchanged and the caller waits for promotion
+	// (discoverable only through its own child node).
+	SecondaryWaiter
+)
+
+// String implements fmt.Stringer.
+func (r AcquireResult) String() string {
+	switch r {
+	case Winner:
+		return "WINNER"
+	case PrimaryWaiter:
+		return "PRIMARY_WAITER"
+	case SecondaryWaiter:
+		return "SECONDARY_WAITER"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// encodeNode packs a (winner, waiter) pair; -1 encodes ⊥.
+func encodeNode(winner, waiter int) Word {
+	return Word(winner+1)<<nodeShift | Word(waiter+1)
+}
+
+// nodeWinner extracts the winner (-1 for ⊥).
+func nodeWinner(w Word) int { return int(w>>nodeShift) - 1 }
+
+// nodeWaiter extracts the waiter (-1 for ⊥).
+func nodeWaiter(w Word) int { return int(w&(1<<nodeShift-1)) - 1 }
+
+// acquireNode performs Acquire_Node atomically on v for process p.
+func acquireNode(p *memsim.Proc, v memsim.Var) AcquireResult {
+	me := p.ID()
+	old := p.RMW(v, func(w Word) Word {
+		switch {
+		case w == 0:
+			return encodeNode(me, -1)
+		case nodeWaiter(w) == -1:
+			return encodeNode(nodeWinner(w), me)
+		default:
+			return w
+		}
+	})
+	switch {
+	case old == 0:
+		return Winner
+	case nodeWaiter(old) == -1:
+		return PrimaryWaiter
+	default:
+		return SecondaryWaiter
+	}
+}
+
+// releaseNode performs Release_Node atomically on v for process p. It
+// reports true (SUCCESS) if the node was (p, ⊥) and is now (⊥, ⊥);
+// false (FAIL) if a waiter has registered, in which case the node is
+// unchanged and the caller must enqueue the waiter and reset the node
+// with an ordinary write.
+func releaseNode(p *memsim.Proc, v memsim.Var) bool {
+	me := p.ID()
+	old := p.RMW(v, func(w Word) Word {
+		if w == encodeNode(me, -1) {
+			return 0
+		}
+		return w
+	})
+	return old == encodeNode(me, -1)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+// TestPartialContention runs every paper algorithm sized for N
+// processes while only a subset competes — idle slots, idle subtrees,
+// and never-active queue positions must not wedge anything.
+func TestPartialContention(t *testing.T) {
+	builders := map[string]harness.Builder{
+		"g-cc": func(m *memsim.Machine) harness.Algorithm {
+			return NewGCC(m, phi.FetchAndIncrement{})
+		},
+		"g-dsm": func(m *memsim.Machine) harness.Algorithm {
+			return NewGDSM(m, phi.FetchAndStore{})
+		},
+		"g-dsm-nowait": func(m *memsim.Machine) harness.Algorithm {
+			return NewGDSMNoExitWait(m, phi.FetchAndIncrement{})
+		},
+		"tree4": func(m *memsim.Machine) harness.Algorithm {
+			return NewTree(m, phi.NewBoundedFetchInc(4))
+		},
+		"t0": func(m *memsim.Machine) harness.Algorithm { return NewT0(m) },
+		"t": func(m *memsim.Machine) harness.Algorithm {
+			return NewT(m, phi.BoundedIncDec{})
+		},
+	}
+	for name, b := range builders {
+		b := b
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, participants := range []int{1, 2, 5} {
+				for seed := int64(0); seed < 6; seed++ {
+					_, err := harness.Run(b, harness.Workload{
+						Model: memsim.CC, N: 8, Entries: 6, CSOps: 1,
+						Participants: participants, Seed: seed,
+					})
+					if err != nil {
+						t.Fatalf("participants=%d seed=%d: %v", participants, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSoloParticipantCheapOnAllAlgorithms: with one live process, the
+// per-entry RMR cost is the pure uncontended path.
+func TestSoloParticipantCheapOnAllAlgorithms(t *testing.T) {
+	met, err := harness.Run(func(m *memsim.Machine) harness.Algorithm {
+		return NewGDSM(m, phi.FetchAndStore{})
+	}, harness.Workload{Model: memsim.DSM, N: 8, Entries: 10, Participants: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MaxBypass != 0 {
+		t.Errorf("solo participant was bypassed %d times", met.MaxBypass)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+// TestSoakManyGenerations pushes each generic-algorithm variant
+// through hundreds of queue generations and tree rounds — the regime
+// where reset bookkeeping (tail resets, stale-signal clears,
+// delegation slots, promotion recycling) would drift if it could.
+func TestSoakManyGenerations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	cases := map[string]harness.Builder{
+		"g-cc/bounded": func(m *memsim.Machine) harness.Algorithm {
+			return NewGCC(m, phi.NewBoundedFetchInc(2*m.NumProcs()))
+		},
+		"g-dsm/bounded": func(m *memsim.Machine) harness.Algorithm {
+			return NewGDSM(m, phi.NewBoundedFetchInc(2*m.NumProcs()))
+		},
+		"g-dsm-nowait/fas": func(m *memsim.Machine) harness.Algorithm {
+			return NewGDSMNoExitWait(m, phi.FetchAndStore{})
+		},
+		"t0": func(m *memsim.Machine) harness.Algorithm { return NewT0(m) },
+		"t/incdec": func(m *memsim.Machine) harness.Algorithm {
+			return NewT(m, phi.BoundedIncDec{})
+		},
+	}
+	for name, b := range cases {
+		b := b
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			met, err := harness.Run(b, harness.Workload{
+				Model: memsim.CC, N: 3, Entries: 400, CSOps: 1, Seed: 7,
+				MaxSteps: 30_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bounded bypass over a 1200-entry run is the long-run
+			// starvation-freedom witness.
+			if met.MaxBypass > 16 {
+				t.Errorf("max bypass %d over 400 entries/process", met.MaxBypass)
+			}
+		})
+	}
+}

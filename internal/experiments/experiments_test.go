@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode —
+// each doubles as a correctness gate (any violation panics inside
+// run).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Build(Opts{Quick: true, Seed: 1})
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: empty table", tbl.ID)
+				}
+				out := tbl.String()
+				if !strings.Contains(out, tbl.ID) {
+					t.Errorf("%s: render missing id:\n%s", tbl.ID, out)
+				}
+				t.Logf("\n%s", out)
+			}
+		})
+	}
+}
+
+// TestE1FlatShape spot-checks the headline claim end to end: E1's
+// worst-RMR column must not grow across its N sweep.
+func TestE1FlatShape(t *testing.T) {
+	tbl := E1GCC(Opts{Quick: true, Seed: 3})
+	perPrim := map[string][]string{}
+	for _, row := range tbl.Rows {
+		perPrim[row[1]] = append(perPrim[row[1]], row[3])
+	}
+	for prim, worsts := range perPrim {
+		first, last := atoi(t, worsts[0]), atoi(t, worsts[len(worsts)-1])
+		if last > 2*first+4 {
+			t.Errorf("%s: worst RMR grew %s → %s across the sweep", prim, worsts[0], worsts[len(worsts)-1])
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	var v int
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}

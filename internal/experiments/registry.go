@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fetchphi/internal/baseline"
+	"fetchphi/internal/core"
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+)
+
+// Algorithms returns every simulated mutual exclusion algorithm in the
+// repository by name — the paper's constructions (over a default
+// primitive choice) and all baselines. Used by cmd/explore and shared
+// tooling.
+func Algorithms() map[string]harness.Builder {
+	return map[string]harness.Builder{
+		"g-cc": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGCC(m, phi.FetchAndIncrement{})
+		},
+		"g-cc/fas": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGCC(m, phi.FetchAndStore{})
+		},
+		"g-cc-specialized": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGCCFetchInc(m)
+		},
+		"g-dsm": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGDSM(m, phi.FetchAndIncrement{})
+		},
+		"g-dsm/fas": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGDSM(m, phi.FetchAndStore{})
+		},
+		"g-dsm-nowait": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewGDSMNoExitWait(m, phi.FetchAndIncrement{})
+		},
+		"tree4": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewTree(m, phi.NewBoundedFetchInc(4))
+		},
+		"tree8": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewTree(m, phi.NewBoundedFetchInc(8))
+		},
+		"t0": func(m *memsim.Machine) harness.Algorithm { return core.NewT0(m) },
+		"t": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewT(m, phi.BoundedIncDec{})
+		},
+		"t/fas": func(m *memsim.Machine) harness.Algorithm {
+			return core.NewT(m, phi.FetchAndStore{})
+		},
+		"tas": func(m *memsim.Machine) harness.Algorithm { return baseline.NewTASLock(m) },
+		"ticket": func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewTicketLock(m)
+		},
+		"t-anderson": func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewAndersonLock(m)
+		},
+		"graunke-thakkar": func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewGraunkeThakkarLock(m)
+		},
+		"mcs": func(m *memsim.Machine) harness.Algorithm { return baseline.NewMCSLock(m) },
+		"mcs-swap-only": func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewMCSSwapOnlyLock(m)
+		},
+		"clh": func(m *memsim.Machine) harness.Algorithm { return baseline.NewCLHLock(m) },
+		"yang-anderson-tree": func(m *memsim.Machine) harness.Algorithm {
+			return baseline.NewYangAndersonTree(m)
+		},
+	}
+}
+
+// AlgorithmNames returns the registry's keys, sorted.
+func AlgorithmNames() []string {
+	algs := Algorithms()
+	names := make([]string, 0, len(algs))
+	for name := range algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Algorithm looks a builder up by name.
+func Algorithm(name string) (harness.Builder, error) {
+	b, ok := Algorithms()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown algorithm %q (known: %v)", name, AlgorithmNames())
+	}
+	return b, nil
+}

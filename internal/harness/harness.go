@@ -1,0 +1,245 @@
+// Package harness runs mutual exclusion algorithms on simulated CC and
+// DSM machines, checks their safety and liveness properties, and
+// collects the RMR statistics the experiments report.
+package harness
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+)
+
+// Algorithm is an N-process mutual exclusion algorithm instantiated on
+// one machine. Acquire and Release implement the entry and exit
+// sections for the calling simulated process.
+type Algorithm interface {
+	// Name identifies the algorithm (and its primitive, where
+	// relevant) in reports.
+	Name() string
+	// Acquire performs the entry section for p.
+	Acquire(p *memsim.Proc)
+	// Release performs the exit section for p.
+	Release(p *memsim.Proc)
+}
+
+// Builder constructs a fresh algorithm instance on a machine. It is
+// called once per run, after the machine exists and before processes
+// start, and must be deterministic.
+type Builder func(m *memsim.Machine) Algorithm
+
+// Workload describes one simulated experiment run.
+type Workload struct {
+	// Model is the simulated architecture.
+	Model memsim.Model
+	// N is the number of processes.
+	N int
+	// Entries is the number of critical-section entries per process.
+	Entries int
+	// CSOps is the number of shared-memory operations each process
+	// performs inside the critical section (simulated CS work).
+	CSOps int
+	// NCSOps is the number of private operations between entries
+	// (simulated non-critical work; stretches contention patterns).
+	NCSOps int
+	// Participants, if nonzero, limits contention to the first
+	// Participants processes; the rest stay idle. Algorithms must
+	// behave when only a subset of the N processes they were sized
+	// for ever compete.
+	Participants int
+	// Sched overrides the scheduler (default NewRandom(Seed)).
+	Sched memsim.Scheduler
+	// Seed selects the default random scheduler's seed.
+	Seed int64
+	// MaxSteps bounds the run (default memsim.DefaultMaxSteps).
+	MaxSteps int64
+}
+
+// Metrics aggregates what one run measured.
+type Metrics struct {
+	// Result is the raw run outcome.
+	Result memsim.Result
+	// MeanRMR is total RMRs divided by total CS entries.
+	MeanRMR float64
+	// WorstRMR is the largest RMR cost of a single entry/exit pair
+	// observed by any process.
+	WorstRMR int64
+	// NonLocalSpins is the total number of busy-wait re-check reads
+	// of remotely homed variables (should be 0 for every local-spin
+	// algorithm on DSM).
+	NonLocalSpins int64
+	// MaxBypass is the fairness metric: the maximum, over all
+	// processes and entries, of the number of critical sections
+	// completed by other processes while the process was in its
+	// entry section. Starvation-free algorithms keep this bounded
+	// (independent of Entries).
+	MaxBypass int64
+}
+
+// Run executes one workload and returns its metrics. The run fails
+// (non-nil error) on a mutual exclusion violation, deadlock, livelock
+// (step bound), or if any process finished fewer entries than asked.
+func Run(b Builder, w Workload) (Metrics, error) {
+	if w.N <= 0 || w.Entries <= 0 {
+		return Metrics{}, fmt.Errorf("harness: invalid workload N=%d Entries=%d", w.N, w.Entries)
+	}
+	sched := w.Sched
+	if sched == nil {
+		sched = memsim.NewRandom(w.Seed)
+	}
+
+	participants := w.Participants
+	if participants <= 0 || participants > w.N {
+		participants = w.N
+	}
+	m := memsim.NewMachine(w.Model, w.N)
+	alg := b(m)
+	scratch := m.NewVar("cs-scratch", memsim.HomeGlobal, 0)
+	bypass := make([]int64, w.N)
+	for i := 0; i < w.N; i++ {
+		i := i
+		if i >= participants {
+			m.AddProc(fmt.Sprintf("idle%d", i), func(*memsim.Proc) {})
+			continue
+		}
+		local := m.NewVar(fmt.Sprintf("ncs-local[%d]", i), i, 0)
+		m.AddProc(fmt.Sprintf("p%d", i), func(p *memsim.Proc) {
+			for e := 0; e < w.Entries; e++ {
+				before := m.CSEntriesSoFar()
+				p.BeginEntrySection()
+				alg.Acquire(p)
+				p.EnterCS()
+				// −1: CSEntriesSoFar already includes this process's
+				// own just-recorded entry.
+				if by := m.CSEntriesSoFar() - before - 1; by > bypass[i] {
+					bypass[i] = by
+				}
+				for k := 0; k < w.CSOps; k++ {
+					p.RMW(scratch, func(x memsim.Word) memsim.Word { return x + 1 })
+				}
+				p.ExitCS()
+				alg.Release(p)
+				p.EndExitSection()
+				for k := 0; k < w.NCSOps; k++ {
+					p.Write(local, memsim.Word(k))
+				}
+			}
+		})
+	}
+
+	res := m.Run(memsim.RunConfig{Sched: sched, MaxSteps: w.MaxSteps})
+	met := Metrics{
+		Result:        res,
+		MeanRMR:       res.MeanRMRPerEntry(),
+		WorstRMR:      res.MaxRMRPerEntry(),
+		NonLocalSpins: res.NonLocalSpinReads(),
+	}
+	for _, by := range bypass {
+		if by > met.MaxBypass {
+			met.MaxBypass = by
+		}
+	}
+	if err := res.Err(); err != nil {
+		return met, fmt.Errorf("harness: %s on %v with N=%d: %w", alg.Name(), w.Model, w.N, err)
+	}
+	if want := int64(participants) * int64(w.Entries); res.CSEntries != want {
+		return met, fmt.Errorf("harness: %s completed %d CS entries, want %d", alg.Name(), res.CSEntries, want)
+	}
+	// The CS work is a shared counter: its final value double-checks
+	// that no increments were lost to an exclusion failure.
+	if want := memsim.Word(participants) * memsim.Word(w.Entries) * memsim.Word(w.CSOps); m.Value(scratch) != want {
+		return met, fmt.Errorf("harness: %s lost critical-section updates: scratch=%d, want %d", alg.Name(), m.Value(scratch), want)
+	}
+	return met, nil
+}
+
+// Verify stress-tests an algorithm: `seeds` random schedules of the
+// given workload shape on both memory models, failing on the first
+// violated run. It complements the exhaustive exploration done by
+// Check.
+func Verify(b Builder, n, entries, seeds int) error {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for seed := 0; seed < seeds; seed++ {
+			w := Workload{Model: model, N: n, Entries: entries, CSOps: 1, Seed: int64(seed)}
+			if _, err := Run(b, w); err != nil {
+				return fmt.Errorf("seed %d: %w", seed, err)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyPCT stress-tests an algorithm under Probabilistic Concurrency
+// Testing schedulers across bug depths 2..4 — a directed complement to
+// Verify's uniform random schedules.
+func VerifyPCT(b Builder, n, entries, seeds int) error {
+	est := int64(n*entries*150 + 100) // rough run length for change-point placement
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for depth := 2; depth <= 4; depth++ {
+			for seed := 0; seed < seeds; seed++ {
+				w := Workload{
+					Model: model, N: n, Entries: entries, CSOps: 1,
+					Sched: memsim.NewPCT(int64(seed), depth, est),
+				}
+				if _, err := Run(b, w); err != nil {
+					return fmt.Errorf("pct depth %d seed %d: %w", depth, seed, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAdversarial checks starvation freedom directly: for each
+// choice of victim, an adversary scheduler runs the victim only when
+// nothing else is runnable. A starvation-free algorithm still
+// completes every process's entries; an unfair one deadlocks or blows
+// the step bound.
+func VerifyAdversarial(b Builder, n, entries int) error {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for victim := 0; victim < n; victim++ {
+			w := Workload{
+				Model: model, N: n, Entries: entries, CSOps: 1,
+				Sched: memsim.NewAdversary(int64(victim)+1, victim),
+			}
+			if _, err := Run(b, w); err != nil {
+				return fmt.Errorf("adversary vs p%d: %w", victim, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Check model-checks small configurations of the algorithm with
+// preemption-bounded exhaustive exploration: every schedule of n
+// processes × entries CS entries with up to preemptions forced context
+// switches, on both models.
+func Check(b Builder, n, entries, preemptions, maxRuns int) error {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		model := model
+		e := &memsim.Explorer{
+			Build: func() *memsim.Machine {
+				m := memsim.NewMachine(model, n)
+				alg := b(m)
+				for i := 0; i < n; i++ {
+					m.AddProc(fmt.Sprintf("p%d", i), func(p *memsim.Proc) {
+						for e := 0; e < entries; e++ {
+							alg.Acquire(p)
+							p.EnterCS()
+							p.ExitCS()
+							alg.Release(p)
+						}
+					})
+				}
+				return m
+			},
+			MaxPreemptions: preemptions,
+			MaxSteps:       1_000_000,
+			MaxRuns:        maxRuns,
+		}
+		res := e.Run()
+		if res.Err != nil {
+			return fmt.Errorf("harness: model %v, schedule %v (run %d): %w", model, res.FailingSchedule, res.Runs, res.Err)
+		}
+	}
+	return nil
+}

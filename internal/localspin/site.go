@@ -1,0 +1,125 @@
+// Package localspin implements the paper's Sec. 3 transformation that
+// converts CC-style "await B" busy-waits into DSM local-spin
+// handshakes. It is the building block behind Algorithm G-DSM and the
+// DSM variants of the Sec. 4 tree algorithms' non-local waits.
+package localspin
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/twoproc"
+)
+
+// Word is re-exported for brevity.
+type Word = memsim.Word
+
+// Site implements the paper's Sec. 3 transformation of one busy-wait
+// condition site J, converting a CC-style "await B" into a DSM
+// local-spin handshake. The transformation is applicable when (as in
+// Algorithm G-CC) a unique process establishes B, and B stays true
+// until the await terminates.
+//
+// A waiting process runs (lines a–h of the paper):
+//
+//	Acquire₂(J, 0); flag := B; Waiter[J] := (flag ? ⊥ : p);
+//	Spin[p] := false; Release₂(J, 0);
+//	if ¬flag { await Spin[p]; Waiter[J] := ⊥ }
+//
+// and the establishing process runs (lines i–m):
+//
+//	Acquire₂(J, 1); B := true; next := Waiter[J]; Release₂(J, 1);
+//	if next ≠ ⊥ { Spin[next] := true }
+//
+// Spin[p] is the per-process spin variable homed at p, shared by all of
+// a process's sites (a process waits at one site at a time).
+type Site struct {
+	mu     *twoproc.Mutex
+	waiter memsim.Var
+	spin   *memsim.Dict
+}
+
+// SiteSet manages the transformation state for a family of condition
+// sites: one two-process mutex and one Waiter variable per site key,
+// and the shared per-process Spin variables.
+type SiteSet struct {
+	m     *memsim.Machine
+	name  string
+	spin  *memsim.Dict
+	mus   map[Word]*twoproc.Mutex
+	waits map[Word]memsim.Var
+	sites map[Word]*Site
+}
+
+// NewSiteSet returns an empty site family. Sites are materialized on
+// first use, deterministically within the accessing process's turn.
+func NewSiteSet(m *memsim.Machine, name string) *SiteSet {
+	return &SiteSet{
+		m:     m,
+		name:  name,
+		spin:  m.NewProcDict(name+".Spin", 0),
+		mus:   make(map[Word]*twoproc.Mutex),
+		waits: make(map[Word]memsim.Var),
+		sites: make(map[Word]*Site),
+	}
+}
+
+// At returns the site for key J.
+func (s *SiteSet) At(key Word) *Site {
+	if site, ok := s.sites[key]; ok {
+		return site
+	}
+	site := &Site{
+		mu:     twoproc.New(s.m, fmt.Sprintf("%s.mu{%d}", s.name, key)),
+		waiter: s.m.NewVar(fmt.Sprintf("%s.Waiter{%d}", s.name, key), memsim.HomeGlobal, 0),
+		spin:   s.spin,
+	}
+	s.sites[key] = site
+	return site
+}
+
+// Wait blocks process p until the condition holds, evaluating it under
+// the site lock and spinning only on p's own Spin variable. cond must
+// read shared state through the supplied read function.
+func (site *Site) Wait(p *memsim.Proc, cond func(read func(memsim.Var) Word) bool) {
+	mine := site.spin.At(Word(p.ID()))
+
+	site.mu.Acquire(p, 0)                                      // a
+	flag := cond(func(v memsim.Var) Word { return p.Read(v) }) // b
+	if flag {
+		p.Write(site.waiter, 0) // c (⊥ branch)
+	} else {
+		p.Write(site.waiter, Word(p.ID())+1) // c
+	}
+	p.Write(mine, 0)      // d
+	site.mu.Release(p, 0) // e
+	if !flag {            // f
+		p.AwaitTrue(mine)       // g — the only busy-wait, local on DSM
+		p.Write(site.waiter, 0) // h
+	}
+}
+
+// Visit runs body inside the site's waiter-side critical section,
+// mutually exclusive with every Signal on the same site. It supports
+// non-blocking site transactions such as the exit-wait delegation of
+// the G-DSM handshake extension: inspect the condition and register
+// follow-up work atomically with respect to the establisher.
+func (site *Site) Visit(p *memsim.Proc, body func()) {
+	site.mu.Acquire(p, 0)
+	body()
+	site.mu.Release(p, 0)
+}
+
+// Signal establishes the condition on behalf of process p: establish
+// must perform the write(s) that make the waited-on condition true. If
+// a waiter registered before the establishment, Signal releases it via
+// its spin variable.
+func (site *Site) Signal(p *memsim.Proc, establish func()) {
+	site.mu.Acquire(p, 1)       // i
+	establish()                 // j
+	next := p.Read(site.waiter) // k
+	site.mu.Release(p, 1)       // l
+	if next != 0 {              // m
+		p.Write(site.spin.At(next-1), 1)
+	}
+}

@@ -1,0 +1,39 @@
+package memsim
+
+// bitset is a fixed-capacity set of process ids, used to track cached
+// copies under the CC model.
+type bitset struct {
+	words []uint64
+	count int
+}
+
+func newBitset(n int) bitset {
+	return bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitset) has(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitset) add(i int) {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.count++
+	}
+}
+
+// hasOnly reports whether the set is exactly {i}.
+func (b *bitset) hasOnly(i int) bool {
+	return b.count == 1 && b.has(i)
+}
+
+func (b *bitset) clear() {
+	if b.count == 0 {
+		return
+	}
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.count = 0
+}

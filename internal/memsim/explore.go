@@ -1,0 +1,182 @@
+package memsim
+
+import "fmt"
+
+// This file implements preemption-bounded systematic exploration in the
+// style of CHESS (Musuvathi & Qadeer): the scheduler runs
+// non-preemptively (a process keeps the processor until it blocks or
+// finishes) except for at most K explicitly chosen preemption points.
+// Exploring all placements of up to K preemptions covers a
+// polynomially-sized but empirically very effective slice of the
+// interleaving space, and suffices to *prove* properties of small
+// configurations relative to the bound.
+
+// Preemption forces a context switch to Proc just before the operation
+// at the given step index.
+type Preemption struct {
+	Step int64
+	Proc int
+}
+
+// Explorer systematically explores the interleavings of a machine
+// built by Build, up to MaxPreemptions forced context switches per run.
+type Explorer struct {
+	// Build constructs a fresh machine: allocate variables, add
+	// processes. Called once per explored schedule; it must be
+	// deterministic.
+	Build func() *Machine
+	// MaxPreemptions is the preemption bound K (default 2).
+	MaxPreemptions int
+	// MaxSteps bounds each individual run (default DefaultMaxSteps).
+	MaxSteps int64
+	// MaxRuns caps the total number of schedules explored
+	// (default 200000). If hit, the result reports Exhausted=false.
+	MaxRuns int
+	// Check, if non-nil, is invoked after every successful run; a
+	// non-nil error fails the exploration with that run's schedule.
+	// Use it to verify properties beyond the built-in safety checks
+	// (e.g. FIFO ordering).
+	Check func(Result) error
+}
+
+// ExploreResult reports the outcome of an exploration.
+type ExploreResult struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// Err is the first failure found (violation, deadlock, or step
+	// bound), nil if every explored schedule passed.
+	Err error
+	// FailingSchedule reproduces the failure via ReplaySchedule.
+	FailingSchedule []Preemption
+	// Exhausted is true iff the entire preemption-bounded schedule
+	// space was covered within MaxRuns.
+	Exhausted bool
+}
+
+// chooser is the Scheduler that realizes one preemption schedule over
+// the non-preemptive default policy (keep running the current process;
+// on a forced switch, take the lowest runnable id).
+type chooser struct {
+	preemptions []Preemption
+	next        int
+	// trace records, for each step at or after the last preemption,
+	// the runnable set and the default choice (for child generation).
+	traceFrom int64
+	choices   []choicePoint
+}
+
+type choicePoint struct {
+	step     int64
+	runnable []int
+	chosen   int
+}
+
+func defaultPick(runnable []int, last int) int {
+	for _, id := range runnable {
+		if id == last {
+			return id
+		}
+	}
+	return runnable[0]
+}
+
+// Pick implements Scheduler.
+func (c *chooser) Pick(step int64, runnable []int, last int) int {
+	var pick int
+	if c.next < len(c.preemptions) && c.preemptions[c.next].Step == step {
+		pick = c.preemptions[c.next].Proc
+		if !contains(runnable, pick) {
+			panic(fmt.Sprintf("memsim: schedule replay diverged at step %d: process %d not runnable in %v (nondeterministic build?)", step, pick, runnable))
+		}
+		c.next++
+	} else {
+		pick = defaultPick(runnable, last)
+	}
+	if step >= c.traceFrom {
+		c.choices = append(c.choices, choicePoint{
+			step:     step,
+			runnable: append([]int(nil), runnable...),
+			chosen:   pick,
+		})
+	}
+	return pick
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Run explores the preemption-bounded schedule space, stopping at the
+// first failure.
+func (e *Explorer) Run() ExploreResult {
+	maxPre := e.MaxPreemptions
+	if maxPre < 0 {
+		maxPre = 0
+	} else if e.MaxPreemptions == 0 {
+		maxPre = 2
+	}
+	maxRuns := e.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 200_000
+	}
+
+	// Depth-first over schedules; each stack entry is a preemption
+	// list to execute.
+	stack := [][]Preemption{nil}
+	var res ExploreResult
+	for len(stack) > 0 {
+		if res.Runs >= maxRuns {
+			return res // not exhausted
+		}
+		sched := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Runs++
+
+		ch := &chooser{preemptions: sched}
+		if n := len(sched); n > 0 {
+			ch.traceFrom = sched[n-1].Step + 1
+		}
+		m := e.Build()
+		r := m.Run(RunConfig{Sched: ch, MaxSteps: e.MaxSteps})
+		err := r.Err()
+		if err == nil && e.Check != nil {
+			err = e.Check(r)
+		}
+		if err != nil {
+			res.Err = err
+			res.FailingSchedule = sched
+			return res
+		}
+		if len(sched) >= maxPre {
+			continue
+		}
+		// Children: add one preemption strictly after the current
+		// last one, to every alternative runnable process.
+		for _, cp := range ch.choices {
+			for _, alt := range cp.runnable {
+				if alt == cp.chosen {
+					continue
+				}
+				child := make([]Preemption, len(sched)+1)
+				copy(child, sched)
+				child[len(sched)] = Preemption{Step: cp.step, Proc: alt}
+				stack = append(stack, child)
+			}
+		}
+	}
+	res.Exhausted = true
+	return res
+}
+
+// ReplaySchedule runs one specific preemption schedule against a fresh
+// machine from Build and returns the run result — used to reproduce a
+// FailingSchedule under a debugger or with extra assertions.
+func (e *Explorer) ReplaySchedule(sched []Preemption) Result {
+	m := e.Build()
+	return m.Run(RunConfig{Sched: &chooser{preemptions: sched}, MaxSteps: e.MaxSteps})
+}

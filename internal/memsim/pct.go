@@ -1,0 +1,82 @@
+package memsim
+
+import "math/rand"
+
+// PCT implements Probabilistic Concurrency Testing (Burckhardt et al.,
+// ASPLOS 2010): each process gets a random priority; the highest-
+// priority runnable process always runs, except at d−1 randomly
+// pre-chosen steps where the running process's priority is demoted
+// below everyone's. For a bug of depth d (one needing d ordering
+// constraints), a PCT run finds it with probability ≥ 1/(n·k^(d−1)),
+// independent of how rare the interleaving is under uniform random
+// scheduling — which makes PCT a strong complement to both the Random
+// scheduler and the exhaustive Explorer.
+type PCT struct {
+	rng *rand.Rand
+	// Depth is the bug depth d to target (number of priority change
+	// points is Depth−1). Depth 1 means plain priority scheduling.
+	depth int
+	// steps estimates the run length k for placing change points.
+	steps int64
+
+	priorities   map[int]int64 // process id → priority (higher runs first)
+	changePoints map[int64]bool
+	nextPriority int64 // decreasing counter for demotions
+}
+
+// NewPCT returns a PCT scheduler targeting bugs of the given depth,
+// assuming runs of roughly maxSteps scheduling points.
+func NewPCT(seed int64, depth int, maxSteps int64) *PCT {
+	if depth < 1 {
+		depth = 1
+	}
+	if maxSteps < 1 {
+		maxSteps = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &PCT{
+		rng:          rng,
+		depth:        depth,
+		steps:        maxSteps,
+		priorities:   make(map[int]int64),
+		changePoints: make(map[int64]bool),
+		nextPriority: 0,
+	}
+	for i := 0; i < depth-1; i++ {
+		p.changePoints[rng.Int63n(maxSteps)] = true
+	}
+	return p
+}
+
+// Pick implements Scheduler.
+func (p *PCT) Pick(step int64, runnable []int, last int) int {
+	// Demote the previously running process at a change point.
+	if p.changePoints[step] && last >= 0 {
+		p.nextPriority--
+		p.priorities[last] = p.nextPriority
+	}
+	best := runnable[0]
+	bestPrio := p.priority(best)
+	for _, id := range runnable[1:] {
+		if prio := p.priority(id); prio > bestPrio {
+			best, bestPrio = id, prio
+		}
+	}
+	return best
+}
+
+// priority returns the process's priority, assigning an initial random
+// one on first sight.
+func (p *PCT) priority(id int) int64 {
+	if prio, ok := p.priorities[id]; ok {
+		return prio
+	}
+	// Initial priorities are large positive values so demotions
+	// (negative, decreasing) always rank below them.
+	prio := 1 + p.rng.Int63n(1<<30)
+	p.priorities[id] = prio
+	return prio
+}
+
+// Compile-time interface compliance check.
+var _ Scheduler = (*PCT)(nil)

@@ -1,0 +1,165 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPCTFindsBrokenLock checks PCT's reason for existing: the
+// non-atomic test-then-set race needs two ordering constraints (switch
+// away from p0 after its test, and back before p1 leaves its critical
+// section), i.e. bug depth 3; some seed's change points land on it.
+func TestPCTFindsBrokenLock(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 2000; seed++ {
+		m := brokenLockMachine()
+		res := m.Run(RunConfig{Sched: NewPCT(seed, 3, 40), MaxSteps: 1000})
+		if res.Violation != nil {
+			found = true
+			t.Logf("violation at seed %d after %d steps", seed, res.Steps)
+			break
+		}
+	}
+	if !found {
+		t.Fatal("PCT failed to find the broken-lock race in 200 seeds")
+	}
+}
+
+// TestPCTPassesCorrectLock: no false positives on the correct lock.
+func TestPCTPassesCorrectLock(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		m := tasLockMachine()
+		res := m.Run(RunConfig{Sched: NewPCT(seed, 3, 200), MaxSteps: 5000})
+		if err := res.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPCTIsDeterministicPerSeed: same seed, same schedule.
+func TestPCTIsDeterministicPerSeed(t *testing.T) {
+	run := func() (int64, int64) {
+		m := tasLockMachine()
+		res := m.Run(RunConfig{Sched: NewPCT(7, 2, 200)})
+		return res.Steps, res.TotalRMRs()
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("PCT replay diverged: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}
+
+// TestPCTPriorityScheduling: with depth 1 (no change points), the
+// highest-priority process runs to completion before the other starts
+// doing operations.
+func TestPCTPriorityScheduling(t *testing.T) {
+	var picks []int
+	m := NewMachine(CC, 2)
+	v := m.NewVar("v", HomeGlobal, 0)
+	for i := 0; i < 2; i++ {
+		m.AddProc("p", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Write(v, 1)
+			}
+		})
+	}
+	res := m.Run(RunConfig{
+		Sched:    NewPCT(3, 1, 100),
+		Observer: func(_ int64, _ []int, chosen int) { picks = append(picks, chosen) },
+	})
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// All picks of the first-chosen process must precede all picks of
+	// the other.
+	first := picks[0]
+	switched := false
+	for _, p := range picks {
+		if p != first {
+			switched = true
+		} else if switched {
+			t.Fatalf("priority scheduling interleaved: %v", picks)
+		}
+	}
+}
+
+func TestTraceRecordsOperations(t *testing.T) {
+	m := NewMachine(CC, 2)
+	v := m.NewVar("x", HomeGlobal, 0)
+	flag := m.NewVar("flag", HomeGlobal, 0)
+	m.AddProc("writer", func(p *Proc) {
+		p.Write(v, 7)
+		p.RMW(v, func(w Word) Word { return w + 1 })
+		p.Write(flag, 1)
+	})
+	m.AddProc("waiter", func(p *Proc) {
+		p.AwaitTrue(flag)
+		p.Read(v)
+	})
+	m.EnableTrace(64)
+	if err := m.Run(RunConfig{Sched: RoundRobin{}}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Trace()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var kinds []TraceKind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := map[TraceKind]bool{TraceWrite: false, TraceRMW: false, TraceRead: false, TraceSpinRead: false}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("no %v event recorded (kinds: %v)", k, kinds)
+		}
+	}
+	out := m.FormatTrace()
+	for _, substr := range []string{"rmw", "x: 7 -> 8", "write"} {
+		if !strings.Contains(out, substr) {
+			t.Errorf("trace missing %q:\n%s", substr, out)
+		}
+	}
+}
+
+func TestTraceRingWrapsOldestFirst(t *testing.T) {
+	m := NewMachine(CC, 1)
+	v := m.NewVar("v", HomeGlobal, 0)
+	m.AddProc("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Write(v, Word(i))
+		}
+	})
+	m.EnableTrace(4)
+	if err := m.Run(RunConfig{Sched: RoundRobin{}}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Trace()
+	if len(events) != 4 {
+		t.Fatalf("ring returned %d events, want 4", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Step <= events[i-1].Step {
+			t.Fatalf("events out of order: %v", events)
+		}
+	}
+	if events[len(events)-1].After != 9 {
+		t.Fatalf("last event should be the final write: %v", events[len(events)-1])
+	}
+}
+
+func TestTraceDisabledReturnsNil(t *testing.T) {
+	m := NewMachine(CC, 1)
+	m.AddProc("p", func(*Proc) {})
+	m.Run(RunConfig{Sched: RoundRobin{}})
+	if m.Trace() != nil {
+		t.Fatal("trace without EnableTrace")
+	}
+	if m.FormatTrace() != "(no trace recorded)" {
+		t.Fatal("FormatTrace placeholder wrong")
+	}
+}

@@ -1,0 +1,242 @@
+package memsim
+
+import (
+	"fmt"
+
+	"fetchphi/internal/phi"
+)
+
+// procStatus is the engine-side scheduling state of a process.
+type procStatus int
+
+const (
+	// statusReady: the process is blocked at a scheduling point,
+	// ready to perform its next operation when resumed.
+	statusReady procStatus = iota
+	// statusWaiting: the process is inside an Await whose condition
+	// was false; it must not be resumed until a watched variable is
+	// written.
+	statusWaiting
+	// statusRecheck: a watched variable was written; the process is
+	// eligible to be resumed for a condition re-check.
+	statusRecheck
+	// statusDone: the process body returned (or was killed).
+	statusDone
+)
+
+// reportKind is what a process goroutine tells the engine when it
+// hands control back.
+type reportKind int
+
+const (
+	reportStep    reportKind = iota // at a scheduling point, ready for next op
+	reportBlocked                   // await condition false; now waiting
+	reportDone                      // body returned
+	reportAborted                   // violation detected inside the process
+)
+
+// killed is the panic sentinel used to unwind a process goroutine when
+// the engine tears a run down.
+type killed struct{}
+
+// abort is the panic sentinel carrying a violation out of a process
+// body.
+type abort struct{ err error }
+
+// ProcStats accumulates the per-process metrics the experiments report.
+type ProcStats struct {
+	// RMRs is the number of remote memory references, under the
+	// machine's model.
+	RMRs int64
+	// Steps is the number of scheduling points executed.
+	Steps int64
+	// CSEntries is the number of critical-section entries.
+	CSEntries int64
+	// NonLocalSpinReads counts busy-wait re-check reads of variables
+	// not homed at the spinner (DSM model only). A local-spin
+	// algorithm must keep this at zero.
+	NonLocalSpinReads int64
+	// MaxRMRGap is the largest number of RMRs spent on a single
+	// entry/exit pair (set by the CS monitor).
+	MaxRMRGap int64
+	// AwaitBlocks counts how many times the process actually blocked
+	// in an Await (condition false on first evaluation) — a latency
+	// indicator the RMR measure does not capture.
+	AwaitBlocks int64
+}
+
+// Proc is one simulated process. All its methods must be called from
+// the process's own body function; they are the process's interface to
+// the simulated shared memory.
+type Proc struct {
+	m    *Machine
+	id   int
+	name string
+	body func(*Proc)
+
+	resume chan bool       // engine → proc; true = killed
+	report chan reportKind // proc → engine
+
+	status     procStatus
+	watch      []Var
+	watchEpoch uint64
+
+	stats        ProcStats
+	rmrAtAcquire int64 // RMR count when the current entry section began
+}
+
+// ID returns the process id (0..N-1).
+func (p *Proc) ID() int { return p.id }
+
+// Machine returns the machine this process runs on.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Model is shorthand for p.Machine().Model().
+func (p *Proc) Model() Model { return p.m.model }
+
+// Stats returns the statistics accumulated so far. Call after the run
+// completes.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// AddProc registers a simulated process. Processes must be added before
+// Run; ids are assigned in registration order and must stay below the
+// nproc the machine was sized for.
+func (m *Machine) AddProc(name string, body func(*Proc)) *Proc {
+	if len(m.procs) >= m.nproc {
+		panic(fmt.Sprintf("memsim: more than %d processes added", m.nproc))
+	}
+	p := &Proc{
+		m:      m,
+		id:     len(m.procs),
+		name:   name,
+		body:   body,
+		resume: make(chan bool),
+		report: make(chan reportKind),
+	}
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// yield hands control to the engine and blocks until resumed. It
+// panics with the kill sentinel when the engine is tearing down.
+func (p *Proc) yield(kind reportKind) {
+	p.report <- kind
+	if <-p.resume {
+		panic(killed{})
+	}
+	p.stats.Steps++
+}
+
+// Read performs an atomic read of v. One scheduling point.
+func (p *Proc) Read(v Var) Word {
+	p.yield(reportStep)
+	return p.m.doRead(p, v, false)
+}
+
+// Write performs an atomic write of x to v. One scheduling point.
+func (p *Proc) Write(v Var, x Word) {
+	p.yield(reportStep)
+	p.m.doWrite(p, v, x)
+}
+
+// RMW atomically replaces v's value with f(v) and returns the old
+// value. One scheduling point. f must be pure.
+func (p *Proc) RMW(v Var, f func(Word) Word) Word {
+	p.yield(reportStep)
+	return p.m.doRMW(p, v, f)
+}
+
+// FetchPhi invokes a fetch-and-φ primitive on v with the given input,
+// returning the variable's old value (the paper's convention).
+func (p *Proc) FetchPhi(v Var, prim phi.Primitive, input Word) Word {
+	return p.RMW(v, func(old Word) Word { return prim.Apply(old, input) })
+}
+
+// Await blocks until cond holds. cond is re-evaluated (atomically) each
+// time one of the watched variables is written; reads it performs are
+// charged RMRs like ordinary reads, with spin accounting. Every
+// variable cond reads must be in watch, or wake-ups can be missed.
+func (p *Proc) Await(cond func(read func(Var) Word) bool, watch ...Var) {
+	if len(watch) == 0 {
+		panic("memsim: Await with empty watch set")
+	}
+	p.watch = watch
+	p.yield(reportStep)
+	for {
+		if p.evalCond(cond) {
+			p.watch = nil
+			p.watchEpoch++
+			return
+		}
+		p.stats.AwaitBlocks++
+		p.m.registerWatch(p)
+		p.yield(reportBlocked)
+	}
+}
+
+// evalCond runs one atomic re-check, charging spin-read RMRs.
+func (p *Proc) evalCond(cond func(read func(Var) Word) bool) bool {
+	read := func(v Var) Word { return p.m.doRead(p, v, true) }
+	return cond(read)
+}
+
+// AwaitEq blocks until v's value equals want.
+func (p *Proc) AwaitEq(v Var, want Word) {
+	p.Await(func(read func(Var) Word) bool { return read(v) == want }, v)
+}
+
+// AwaitTrue blocks until v is nonzero (boolean true).
+func (p *Proc) AwaitTrue(v Var) {
+	p.Await(func(read func(Var) Word) bool { return read(v) != 0 }, v)
+}
+
+// AwaitNonBottom blocks until v differs from ⊥.
+func (p *Proc) AwaitNonBottom(v Var) {
+	p.Await(func(read func(Var) Word) bool { return read(v) != phi.Bottom }, v)
+}
+
+// EnterCS marks entry to the critical section and asserts mutual
+// exclusion. One scheduling point, so overlapping critical sections of
+// two processes are observable by the engine.
+func (p *Proc) EnterCS() {
+	p.yield(reportStep)
+	if occ := p.m.csOccupant; occ != -1 {
+		p.failf("mutual exclusion violated: process %d entered the critical section while process %d held it", p.id, occ)
+	}
+	p.m.csOccupant = p.id
+	p.m.csEntries++
+	p.stats.CSEntries++
+}
+
+// ExitCS marks exit from the critical section. One scheduling point.
+func (p *Proc) ExitCS() {
+	p.yield(reportStep)
+	if p.m.csOccupant != p.id {
+		p.failf("critical-section exit by process %d, but occupant is %d", p.id, p.m.csOccupant)
+	}
+	p.m.csOccupant = -1
+}
+
+// BeginEntrySection records the RMR count at the start of an entry
+// section so EndExitSection can attribute a per-entry RMR cost.
+func (p *Proc) BeginEntrySection() { p.rmrAtAcquire = p.stats.RMRs }
+
+// EndExitSection closes the RMR window opened by BeginEntrySection.
+func (p *Proc) EndExitSection() {
+	if gap := p.stats.RMRs - p.rmrAtAcquire; gap > p.stats.MaxRMRGap {
+		p.stats.MaxRMRGap = gap
+	}
+}
+
+// failf aborts the run with a violation and unwinds this process.
+func (p *Proc) failf(format string, args ...any) {
+	panic(abort{err: fmt.Errorf("memsim: "+format, args...)})
+}
+
+// Fail aborts the run, recording a violation detected by algorithm- or
+// harness-level assertion code running inside this process (e.g. the
+// side-contract checks of the two-process mutex). The run's Result
+// reports it like any built-in violation.
+func (p *Proc) Fail(format string, args ...any) {
+	panic(abort{err: fmt.Errorf(format, args...)})
+}

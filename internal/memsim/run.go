@@ -1,0 +1,233 @@
+package memsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultMaxSteps bounds a run when RunConfig.MaxSteps is zero.
+const DefaultMaxSteps = 20_000_000
+
+// RunConfig configures one run of a machine.
+type RunConfig struct {
+	// Sched decides the interleaving. Defaults to NewRandom(1).
+	Sched Scheduler
+	// MaxSteps aborts runs that exceed this many scheduling points
+	// (livelock/starvation guard). Defaults to DefaultMaxSteps.
+	MaxSteps int64
+	// Observer, if non-nil, is invoked at every scheduling decision
+	// with the runnable set (ascending ids) and the chosen process.
+	// Used by the systematic explorer.
+	Observer func(step int64, runnable []int, chosen int)
+}
+
+// Result summarizes one completed run.
+type Result struct {
+	// Completed is true iff every process body ran to completion
+	// with no violation.
+	Completed bool
+	// Deadlocked is true if some processes were still waiting when
+	// no process could be scheduled.
+	Deadlocked bool
+	// TimedOut is true if the MaxSteps bound was hit.
+	TimedOut bool
+	// Violation holds the first assertion failure (mutual exclusion,
+	// CS protocol), if any.
+	Violation error
+	// Steps is the total number of scheduling points executed.
+	Steps int64
+	// CSEntries is the total number of critical-section entries.
+	CSEntries int64
+	// Procs holds per-process statistics, indexed by process id.
+	Procs []ProcStats
+	// WaitingProcs lists the ids of processes blocked in an Await
+	// when the run ended without completing.
+	WaitingProcs []int
+	// WaitingDetail describes, for each entry of WaitingProcs, the
+	// variables its await watches — the first thing to look at when
+	// diagnosing a deadlock.
+	WaitingDetail []string
+}
+
+// Err converts a non-successful result into an error, nil otherwise.
+func (r Result) Err() error {
+	switch {
+	case r.Violation != nil:
+		return r.Violation
+	case r.Deadlocked:
+		return fmt.Errorf("memsim: deadlock after %d steps; %s", r.Steps, strings.Join(r.WaitingDetail, "; "))
+	case r.TimedOut:
+		return fmt.Errorf("memsim: run exceeded %d steps (livelock or starvation)", r.Steps)
+	case !r.Completed:
+		return fmt.Errorf("memsim: run did not complete")
+	default:
+		return nil
+	}
+}
+
+// TotalRMRs sums RMRs over all processes.
+func (r Result) TotalRMRs() int64 {
+	var total int64
+	for i := range r.Procs {
+		total += r.Procs[i].RMRs
+	}
+	return total
+}
+
+// MaxRMRPerEntry returns the worst per-entry RMR cost observed by any
+// process (requires the processes to use BeginEntrySection /
+// EndExitSection, which the harness workload does).
+func (r Result) MaxRMRPerEntry() int64 {
+	var worst int64
+	for i := range r.Procs {
+		if g := r.Procs[i].MaxRMRGap; g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// MeanRMRPerEntry returns total RMRs divided by total CS entries.
+func (r Result) MeanRMRPerEntry() float64 {
+	if r.CSEntries == 0 {
+		return 0
+	}
+	return float64(r.TotalRMRs()) / float64(r.CSEntries)
+}
+
+// NonLocalSpinReads sums spin re-check reads of remotely homed
+// variables across processes (DSM model).
+func (r Result) NonLocalSpinReads() int64 {
+	var total int64
+	for i := range r.Procs {
+		total += r.Procs[i].NonLocalSpinReads
+	}
+	return total
+}
+
+// Run executes the machine to completion (or violation, deadlock, or
+// step bound) and returns the result. A machine can be run only once.
+func (m *Machine) Run(cfg RunConfig) Result {
+	if cfg.Sched == nil {
+		cfg.Sched = NewRandom(1)
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if len(m.procs) == 0 {
+		return Result{Completed: true}
+	}
+
+	for _, p := range m.procs {
+		go p.run()
+	}
+	for _, p := range m.procs {
+		m.handleReport(p, <-p.report)
+	}
+
+	last := -1
+	runnable := make([]int, 0, len(m.procs))
+	var timedOut bool
+	for m.violation == nil {
+		runnable = runnable[:0]
+		allDone := true
+		for _, p := range m.procs {
+			switch p.status {
+			case statusReady, statusRecheck:
+				runnable = append(runnable, p.id)
+				allDone = false
+			case statusWaiting:
+				allDone = false
+			}
+		}
+		if len(runnable) == 0 || allDone {
+			break
+		}
+		if m.steps >= cfg.MaxSteps {
+			timedOut = true
+			break
+		}
+		id := cfg.Sched.Pick(m.steps, runnable, last)
+		if cfg.Observer != nil {
+			cfg.Observer(m.steps, runnable, id)
+		}
+		m.steps++
+		last = id
+		p := m.procs[id]
+		p.resume <- false
+		m.handleReport(p, <-p.report)
+	}
+
+	res := Result{
+		Violation: m.violation,
+		TimedOut:  timedOut,
+		Steps:     m.steps,
+		CSEntries: m.csEntries,
+	}
+	// Tear down: unwind every process goroutine still alive.
+	for _, p := range m.procs {
+		if p.status != statusDone {
+			if p.status == statusWaiting && res.Violation == nil && !timedOut {
+				res.WaitingProcs = append(res.WaitingProcs, p.id)
+				names := make([]string, len(p.watch))
+				for i, v := range p.watch {
+					names[i] = m.varAt(v).name
+				}
+				res.WaitingDetail = append(res.WaitingDetail,
+					fmt.Sprintf("p%d awaits %v", p.id, names))
+			}
+			p.resume <- true
+			<-p.report
+			p.status = statusDone
+		}
+	}
+	res.Deadlocked = len(res.WaitingProcs) > 0
+	res.Completed = res.Violation == nil && !res.Deadlocked && !timedOut
+	res.Procs = make([]ProcStats, len(m.procs))
+	for i, p := range m.procs {
+		res.Procs[i] = p.stats
+	}
+	return res
+}
+
+// handleReport updates the engine-side status after a process hands
+// control back.
+func (m *Machine) handleReport(p *Proc, kind reportKind) {
+	switch kind {
+	case reportStep:
+		p.status = statusReady
+	case reportBlocked:
+		p.status = statusWaiting
+	case reportDone, reportAborted:
+		p.status = statusDone
+	}
+}
+
+// run is the process goroutine wrapper: it executes the body and
+// translates returns, kills, and violations into final reports.
+//
+// The wrapper performs a startup handshake before calling the body, so
+// that ALL body code — including any preamble before the first memory
+// operation, which may lazily allocate variables — executes inside the
+// process's exclusive scheduling windows. Without it, preambles of
+// different processes would run concurrently.
+func (p *Proc) run() {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+			p.report <- reportDone
+		case killed:
+			p.report <- reportDone
+		case abort:
+			p.m.fail(r.err)
+			p.report <- reportAborted
+		default:
+			panic(r)
+		}
+	}()
+	p.report <- reportStep
+	if <-p.resume {
+		panic(killed{})
+	}
+	p.body(p)
+}

@@ -1,0 +1,129 @@
+package memsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceKind labels one recorded event.
+type TraceKind int
+
+// The recorded event kinds.
+const (
+	// TraceRead is an ordinary read.
+	TraceRead TraceKind = iota
+	// TraceWrite is an ordinary write.
+	TraceWrite
+	// TraceRMW is an atomic read-modify-write.
+	TraceRMW
+	// TraceSpinRead is a busy-wait re-check read.
+	TraceSpinRead
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRead:
+		return "read"
+	case TraceWrite:
+		return "write"
+	case TraceRMW:
+		return "rmw"
+	case TraceSpinRead:
+		return "spin-read"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one shared-memory operation, as recorded by the
+// machine's trace ring.
+type TraceEvent struct {
+	// Step is the global scheduling step at which the operation ran.
+	Step int64
+	// Proc is the acting process id.
+	Proc int
+	// Kind is the operation type.
+	Kind TraceKind
+	// Var is the accessed variable's name.
+	Var string
+	// Before and After are the variable's values around the
+	// operation (equal for reads).
+	Before, After Word
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	if e.Before == e.After {
+		return fmt.Sprintf("[%06d] p%d %-9s %s = %d", e.Step, e.Proc, e.Kind, e.Var, e.Before)
+	}
+	return fmt.Sprintf("[%06d] p%d %-9s %s: %d -> %d", e.Step, e.Proc, e.Kind, e.Var, e.Before, e.After)
+}
+
+// traceRing is a fixed-capacity ring buffer of the most recent events.
+type traceRing struct {
+	events []TraceEvent
+	next   int
+	filled bool
+}
+
+// EnableTrace starts recording the machine's last `capacity`
+// shared-memory operations. Call before Run; retrieve with Trace after
+// the run (typically when diagnosing a violation or deadlock). Tracing
+// costs no simulated steps or RMRs.
+func (m *Machine) EnableTrace(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m.trace = &traceRing{events: make([]TraceEvent, capacity)}
+}
+
+// Trace returns the recorded events, oldest first. It returns nil if
+// EnableTrace was not called.
+func (m *Machine) Trace() []TraceEvent {
+	if m.trace == nil {
+		return nil
+	}
+	r := m.trace
+	if !r.filled {
+		out := make([]TraceEvent, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]TraceEvent, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// FormatTrace renders the recorded events as a multi-line string.
+func (m *Machine) FormatTrace() string {
+	events := m.Trace()
+	if len(events) == 0 {
+		return "(no trace recorded)"
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// record appends one event to the ring.
+func (m *Machine) record(p *Proc, kind TraceKind, vv *variable, before, after Word) {
+	r := m.trace
+	r.events[r.next] = TraceEvent{
+		Step:   m.steps,
+		Proc:   p.id,
+		Kind:   kind,
+		Var:    vv.name,
+		Before: before,
+		After:  after,
+	}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}

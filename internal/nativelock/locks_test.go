@@ -1,0 +1,224 @@
+package nativelock
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// hammer runs `workers` goroutines that each increment an unprotected
+// counter `iters` times inside the given critical-section wrapper, and
+// checks no increments were lost.
+func hammer(t *testing.T, workers, iters int, cs func(id int, body func())) {
+	t.Helper()
+	var counter int // deliberately non-atomic: the lock must protect it
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cs(w, func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := workers * iters; counter != want {
+		t.Fatalf("lost updates: counter = %d, want %d", counter, want)
+	}
+}
+
+const (
+	hammerWorkers = 8
+	hammerIters   = 2000
+)
+
+func TestTASLock(t *testing.T) {
+	var l TASLock
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		l.Lock()
+		body()
+		l.Unlock()
+	})
+}
+
+func TestTTASLock(t *testing.T) {
+	var l TTASLock
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		l.Lock()
+		body()
+		l.Unlock()
+	})
+}
+
+func TestTicketLock(t *testing.T) {
+	var l TicketLock
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		l.Lock()
+		body()
+		l.Unlock()
+	})
+}
+
+func TestAndersonLock(t *testing.T) {
+	l := NewAndersonLock(hammerWorkers)
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		slot := l.Lock()
+		body()
+		l.UnlockSlot(slot)
+	})
+}
+
+func TestCLHLock(t *testing.T) {
+	l := NewCLHLock()
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		tok := l.Lock()
+		body()
+		l.Unlock(tok)
+	})
+}
+
+func TestMCSLock(t *testing.T) {
+	l := NewMCSLock()
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		node := l.Lock()
+		body()
+		l.Unlock(node)
+	})
+}
+
+func TestGraunkeThakkarLock(t *testing.T) {
+	l := NewGraunkeThakkarLock()
+	hammer(t, hammerWorkers, hammerIters, func(_ int, body func()) {
+		tok := l.Lock()
+		body()
+		l.Unlock(tok)
+	})
+}
+
+func TestGenericFetchIncrement(t *testing.T) {
+	l := NewGeneric(hammerWorkers, FetchIncrement)
+	hammer(t, hammerWorkers, hammerIters, func(id int, body func()) {
+		l.LockID(id)
+		body()
+		l.UnlockID(id)
+	})
+}
+
+func TestGenericFetchStore(t *testing.T) {
+	l := NewGeneric(hammerWorkers, FetchStore)
+	hammer(t, hammerWorkers, hammerIters, func(id int, body func()) {
+		l.LockID(id)
+		body()
+		l.UnlockID(id)
+	})
+}
+
+func TestGenericLockerAdapter(t *testing.T) {
+	l := NewGeneric(4, FetchIncrement)
+	hammer(t, 4, 500, func(id int, body func()) {
+		lk := l.Locker(id)
+		lk.Lock()
+		body()
+		lk.Unlock()
+	})
+}
+
+func TestGenericSingleThread(t *testing.T) {
+	l := NewGeneric(1, FetchIncrement)
+	for i := 0; i < 100; i++ {
+		l.LockID(0)
+		l.UnlockID(0)
+	}
+}
+
+// TestGenericManyGenerations drives enough acquisitions through few
+// identities that the queues exchange many times, exercising the
+// stale-signal completion natively.
+func TestGenericManyGenerations(t *testing.T) {
+	for _, phi := range []Phi{FetchIncrement, FetchStore} {
+		l := NewGeneric(2, phi)
+		hammer(t, 2, 20_000, func(id int, body func()) {
+			l.LockID(id)
+			body()
+			l.UnlockID(id)
+		})
+	}
+}
+
+func TestGenericPanicsOnBadIdentity(t *testing.T) {
+	l := NewGeneric(2, FetchIncrement)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range identity")
+		}
+	}()
+	l.Locker(2)
+}
+
+func TestNewGenericPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewGeneric(0, FetchIncrement)
+}
+
+func TestPhiString(t *testing.T) {
+	if FetchIncrement.String() != "fetch-and-increment" || FetchStore.String() != "fetch-and-store" {
+		t.Fatal("Phi.String wrong")
+	}
+}
+
+// TestOversubscribed runs more goroutines than cores to exercise the
+// Gosched yields in the spin loops.
+func TestOversubscribed(t *testing.T) {
+	workers := 4 * runtime.GOMAXPROCS(0)
+	l := NewGeneric(workers, FetchIncrement)
+	hammer(t, workers, 300, func(id int, body func()) {
+		l.LockID(id)
+		body()
+		l.UnlockID(id)
+	})
+}
+
+func TestTreeLock(t *testing.T) {
+	l := NewTreeLock(hammerWorkers)
+	hammer(t, hammerWorkers, hammerIters, func(id int, body func()) {
+		l.LockID(id)
+		body()
+		l.UnlockID(id)
+	})
+}
+
+func TestTreeLockOddSizes(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} {
+		l := NewTreeLock(n)
+		hammer(t, n, 800, func(id int, body func()) {
+			l.LockID(id)
+			body()
+			l.UnlockID(id)
+		})
+	}
+}
+
+func TestTreeLockPanicsOnBadIdentity(t *testing.T) {
+	l := NewTreeLock(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range identity")
+		}
+	}()
+	l.LockID(2)
+}
+
+func TestNewTreeLockPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewTreeLock(0)
+}

@@ -1,0 +1,122 @@
+package phi
+
+import "fmt"
+
+// This file adds primitives beyond the paper's examples, with ranks
+// derived from the Sec. 2 definition (and checked empirically by the
+// package tests):
+//
+//	fetch-and-or   rank 3   two fresh bits per process, then saturation
+//	fetch-and-xor  rank 4   bit toggling eventually returns to ⊥
+//	fetch-and-max  rank 2   a smaller input rewrites the current value
+//
+// None is self-resettable: or/max cannot go back down, and xor's return
+// to ⊥ is exactly what disqualifies it (a reset must be possible only
+// for the variable's owner).
+
+// FetchAndOr is the bitwise-or primitive φ(old, in) = old | in, with
+// each process contributing two private alternating bits. Its rank is
+// exactly 3: the first two invocations write distinct values (a new
+// private bit each), but a process's third invocation within the
+// window re-ors an already-present bit and repeats a value.
+type FetchAndOr struct{ n int }
+
+// NewFetchAndOr returns the primitive for an n-process system
+// (n ≤ 31, since each process owns two bits of the 63 usable).
+func NewFetchAndOr(n int) *FetchAndOr {
+	if n < 1 || n > 31 {
+		panic(fmt.Sprintf("phi: fetch-and-or supports 1..31 processes, got %d", n))
+	}
+	return &FetchAndOr{n: n}
+}
+
+// Name implements Primitive.
+func (*FetchAndOr) Name() string { return "fetch-and-or" }
+
+// Apply implements Primitive.
+func (*FetchAndOr) Apply(old, input Word) Word { return old | input }
+
+// Rank implements Primitive.
+func (*FetchAndOr) Rank() int { return 3 }
+
+// Inputs implements Primitive.
+func (f *FetchAndOr) Inputs(p int) []Word {
+	return []Word{1 << (2 * p), 1 << (2*p + 1)}
+}
+
+// FetchAndXor is the bitwise-xor primitive φ(old, in) = old ^ in with
+// the same two-bit alternating schedule. Toggling is reversible, so a
+// lone process's fourth invocation restores ⊥ (b0 → b0^b1 → b1 → ⊥)
+// and the fifth returns it, capping the rank at 4; the first three
+// writes are pairwise distinct in any interleaving, so the rank is
+// exactly 4.
+type FetchAndXor struct{ n int }
+
+// NewFetchAndXor returns the primitive for an n-process system
+// (n ≤ 31).
+func NewFetchAndXor(n int) *FetchAndXor {
+	if n < 1 || n > 31 {
+		panic(fmt.Sprintf("phi: fetch-and-xor supports 1..31 processes, got %d", n))
+	}
+	return &FetchAndXor{n: n}
+}
+
+// Name implements Primitive.
+func (*FetchAndXor) Name() string { return "fetch-and-xor" }
+
+// Apply implements Primitive.
+func (*FetchAndXor) Apply(old, input Word) Word { return old ^ input }
+
+// Rank implements Primitive.
+func (*FetchAndXor) Rank() int { return 4 }
+
+// Inputs implements Primitive.
+func (f *FetchAndXor) Inputs(p int) []Word {
+	return []Word{1 << (2 * p), 1 << (2*p + 1)}
+}
+
+// FetchAndMax is φ(old, in) = max(old, in), with strictly increasing
+// per-process inputs. Its rank is 2: a second invocation whose input
+// undercuts the current maximum rewrites the previous value, violating
+// condition (i) at r = 3.
+type FetchAndMax struct{ n int }
+
+// NewFetchAndMax returns the primitive for an n-process system.
+func NewFetchAndMax(n int) *FetchAndMax {
+	if n < 1 {
+		panic(fmt.Sprintf("phi: fetch-and-max needs n >= 1, got %d", n))
+	}
+	return &FetchAndMax{n: n}
+}
+
+// Name implements Primitive.
+func (*FetchAndMax) Name() string { return "fetch-and-max" }
+
+// Apply implements Primitive.
+func (*FetchAndMax) Apply(old, input Word) Word {
+	if input > old {
+		return input
+	}
+	return old
+}
+
+// Rank implements Primitive.
+func (*FetchAndMax) Rank() int { return 2 }
+
+// Inputs implements Primitive. Process p's i-th invocation proposes
+// i·n + p + 1: distinct across all invocations, increasing per
+// process, but not globally ordered — which is what caps the rank.
+func (f *FetchAndMax) Inputs(p int) []Word {
+	sched := make([]Word, 8)
+	for i := range sched {
+		sched[i] = Word(i*f.n+p) + 1
+	}
+	return sched
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Primitive = (*FetchAndOr)(nil)
+	_ Primitive = (*FetchAndXor)(nil)
+	_ Primitive = (*FetchAndMax)(nil)
+)

@@ -1,0 +1,183 @@
+package phi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodePairRoundTrip(t *testing.T) {
+	f := func(p uint8, bit bool) bool {
+		b := 0
+		if bit {
+			b = 1
+		}
+		w := EncodePair(int(p), b)
+		if w == Bottom {
+			return false
+		}
+		gp, gb, ok := DecodePair(w)
+		return ok && gp == int(p) && gb == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePairBottom(t *testing.T) {
+	if _, _, ok := DecodePair(Bottom); ok {
+		t.Fatal("DecodePair(⊥) reported ok")
+	}
+}
+
+func TestEncodeCASRoundTrip(t *testing.T) {
+	f := func(cmp, newVal uint16) bool {
+		w := EncodeCAS(Word(cmp), Word(newVal))
+		if w == Bottom {
+			return false
+		}
+		gc, gn := DecodeCAS(w)
+		return gc == Word(cmp) && gn == Word(newVal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDCASRoundTrip(t *testing.T) {
+	f := func(c1, n1, c2, n2 uint8) bool {
+		w := EncodeDCAS(Word(c1), Word(n1), Word(c2), Word(n2))
+		if w == Bottom {
+			return false
+		}
+		gc1, gn1, gc2, gn2 := DecodeDCAS(w)
+		return gc1 == Word(c1) && gn1 == Word(n1) && gc2 == Word(c2) && gn2 == Word(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	tests := []struct {
+		name  string
+		prim  Primitive
+		old   Word
+		input Word
+		want  Word
+	}{
+		{"inc from bottom", FetchAndIncrement{}, Bottom, Bottom, 1},
+		{"inc from 41", FetchAndIncrement{}, 41, Bottom, 42},
+		{"bounded inc below bound", NewBoundedFetchInc(4), 2, Bottom, 3},
+		{"bounded inc at bound", NewBoundedFetchInc(4), 3, Bottom, 3},
+		{"store", FetchAndStore{}, 7, EncodePair(3, 1), EncodePair(3, 1)},
+		{"store reset", FetchAndStore{}, 7, Bottom, Bottom},
+		{"add", FetchAndAdd{}, 5, 1, 6},
+		{"add negative", FetchAndAdd{}, 5, -1, 4},
+		{"incdec clamp high", BoundedIncDec{}, 2, 1, 2},
+		{"incdec clamp low", BoundedIncDec{}, 0, -1, 0},
+		{"incdec up", BoundedIncDec{}, 1, 1, 2},
+		{"tas on false", TestAndSet{}, 0, Bottom, 1},
+		{"tas on true", TestAndSet{}, 1, Bottom, 1},
+		{"cas hit", CompareAndSwap{}, Bottom, EncodeCAS(Bottom, 9), 9},
+		{"cas miss", CompareAndSwap{}, 8, EncodeCAS(Bottom, 9), 8},
+		{"dcas rule1", DoubleCompareSwap{}, Bottom, EncodeDCAS(Bottom, 1, 1, 2), 1},
+		{"dcas rule2", DoubleCompareSwap{}, 1, EncodeDCAS(Bottom, 1, 1, 2), 2},
+		{"dcas miss", DoubleCompareSwap{}, 2, EncodeDCAS(Bottom, 1, 1, 2), 2},
+		{"set-and-write", SetAndWrite{}, Bottom, EncodePair(2, 0), EncodePair(2, 0)<<1 | 1},
+		{"set-and-write clear", SetAndWrite{}, 99, setAndWriteClear, Bottom},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.prim.Apply(tt.old, tt.input); got != tt.want {
+				t.Errorf("%s.Apply(%d, %d) = %d, want %d", tt.prim.Name(), tt.old, tt.input, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInputsNonEmptyAndStable(t *testing.T) {
+	for _, prim := range All(8) {
+		for p := 0; p < 8; p++ {
+			in := prim.Inputs(p)
+			if len(in) == 0 {
+				t.Errorf("%s: empty schedule for process %d", prim.Name(), p)
+			}
+		}
+	}
+}
+
+func TestNewBoundedFetchIncPanicsOnTinyRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedFetchInc(1) did not panic")
+		}
+	}()
+	NewBoundedFetchInc(1)
+}
+
+func TestInvokerSchedulesInputs(t *testing.T) {
+	inv := NewInvoker(FetchAndStore{}, 3)
+	want := []Word{EncodePair(3, 0), EncodePair(3, 1), EncodePair(3, 0), EncodePair(3, 1)}
+	for i, w := range want {
+		if got := inv.UpdateInput(); got != w {
+			t.Fatalf("invocation %d: got input %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestInvokerResetPairsWithLastUpdate(t *testing.T) {
+	inv := NewInvoker(BoundedIncDec{}, 0)
+	a := inv.UpdateInput()
+	b := inv.ResetInput()
+	if got := inv.Apply(inv.Apply(Bottom, a), b); got != Bottom {
+		t.Fatalf("φ(φ(⊥, α), β) = %d, want ⊥", got)
+	}
+}
+
+func TestInvokerResetPanicsWithoutSelfReset(t *testing.T) {
+	inv := NewInvoker(TestAndSet{}, 0)
+	inv.UpdateInput()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetInput on non-self-resettable primitive did not panic")
+		}
+	}()
+	inv.ResetInput()
+}
+
+func TestInvokerResetPanicsBeforeUpdate(t *testing.T) {
+	inv := NewInvoker(FetchAndStore{}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetInput before UpdateInput did not panic")
+		}
+	}()
+	inv.ResetInput()
+}
+
+func TestConsensusNumbers(t *testing.T) {
+	for _, prim := range All(6) {
+		c := ConsensusNumber(prim)
+		switch prim.(type) {
+		case CompareAndSwap, DoubleCompareSwap:
+			if c != RankInfinite {
+				t.Errorf("%s: consensus = %d, want ∞", prim.Name(), c)
+			}
+			// The paper's Sec. 5 inversion: consensus-∞ primitives
+			// here all have constant rank…
+			if prim.Rank() > 3 {
+				t.Errorf("%s: comparison primitive with rank %d", prim.Name(), prim.Rank())
+			}
+		default:
+			if c != 2 {
+				t.Errorf("%s: consensus = %d, want 2", prim.Name(), c)
+			}
+		}
+	}
+	// …and the infinite-rank primitives all have consensus number 2.
+	for _, prim := range All(6) {
+		if prim.Rank() == RankInfinite && ConsensusNumber(prim) != 2 {
+			t.Errorf("%s: rank ∞ but consensus %d", prim.Name(), ConsensusNumber(prim))
+		}
+	}
+}

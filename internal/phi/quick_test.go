@@ -1,0 +1,128 @@
+package phi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestApplyIsPure: φ must be a deterministic function of (old, input)
+// for every primitive — the simulator and the algorithms' private
+// "new-value" computations both rely on it.
+func TestApplyIsPure(t *testing.T) {
+	for _, prim := range All(6) {
+		prim := prim
+		f := func(old int64, pick uint8, round uint8) bool {
+			sched := prim.Inputs(int(pick) % 6)
+			in := sched[int(round)%len(sched)]
+			return prim.Apply(Word(old), in) == prim.Apply(Word(old), in)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", prim.Name(), err)
+		}
+	}
+}
+
+// TestSchedulesAreStable: Inputs must return the same schedule every
+// call (the Invoker captures it once; divergence would desynchronize
+// the rank machinery).
+func TestSchedulesAreStable(t *testing.T) {
+	for _, prim := range All(6) {
+		for p := 0; p < 6; p++ {
+			a, b := prim.Inputs(p), prim.Inputs(p)
+			if len(a) != len(b) {
+				t.Fatalf("%s: schedule length changed", prim.Name())
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: schedule for p%d changed at %d", prim.Name(), p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSelfResetIdentityProperty: for every self-resettable primitive,
+// φ(φ(⊥, α[p][i]), β[p][i]) = ⊥ for arbitrary (p, i) — the algebraic
+// half of the Sec. 4 definition as a quick property.
+func TestSelfResetIdentityProperty(t *testing.T) {
+	for _, prim := range All(6) {
+		sr, ok := prim.(SelfResettable)
+		if !ok {
+			continue
+		}
+		f := func(pRaw, iRaw uint8) bool {
+			p := int(pRaw) % 6
+			alphas, betas := sr.Inputs(p), sr.Resets(p)
+			i := int(iRaw) % len(alphas)
+			return sr.Apply(sr.Apply(Bottom, alphas[i]), betas[i]) == Bottom
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", sr.Name(), err)
+		}
+	}
+}
+
+// TestFirstInvocationNeverWritesBottom: in any α-driven interleaving,
+// no invocation may write ⊥ within the first rank−1 steps — otherwise
+// a later invocation would return ⊥ and break condition (iii). Checked
+// as a randomized property over interleavings.
+func TestFirstInvocationNeverWritesBottom(t *testing.T) {
+	const n = 5
+	f := func(seed int64, idx uint8) bool {
+		prims := All(n)
+		prim := prims[int(idx)%len(prims)]
+		r := prim.Rank()
+		if r == RankInfinite || r > 16 {
+			r = 16
+		}
+		rng := rand.New(rand.NewSource(seed))
+		counters := make([]int, n)
+		v := Bottom
+		for k := 0; k < r-1; k++ {
+			p := rng.Intn(n)
+			sched := prim.Inputs(p)
+			v = prim.Apply(v, sched[counters[p]%len(sched)])
+			counters[p]++
+			if v == Bottom {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRankMonotoneInBound: the bounded fetch-and-increment family's
+// estimated rank equals its bound for arbitrary bounds — the rank
+// notion parameterizes cleanly.
+func TestRankMonotoneInBound(t *testing.T) {
+	f := func(raw uint8) bool {
+		r := 2 + int(raw)%14
+		return EstimateRank(NewBoundedFetchInc(r), 4, r+3, 1200, int64(raw)) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvokerCycles: the Invoker walks the schedule cyclically for any
+// sequence of updates.
+func TestInvokerCycles(t *testing.T) {
+	f := func(pRaw uint8, steps uint8) bool {
+		p := int(pRaw) % 6
+		inv := NewInvoker(FetchAndStore{}, p)
+		sched := FetchAndStore{}.Inputs(p)
+		for i := 0; i < int(steps); i++ {
+			if inv.UpdateInput() != sched[i%len(sched)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package phi
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements an empirical checker for the rank definition
+// (paper, Sec. 2). The checker simulates random interleavings of the
+// processes' schedule-driven invocation loops on a single variable and
+// verifies conditions (i)–(iii) over the first r invocations. A
+// violation disproves rank ≥ r; absence of violations over many trials
+// is (necessarily) only evidence, which is the best any finite check
+// can do for a universally quantified property.
+
+// RankViolation describes a concrete interleaving that violates one of
+// the three rank conditions.
+type RankViolation struct {
+	Primitive string
+	Condition int // 1, 2 or 3, matching conditions (i)-(iii)
+	R         int // the rank being tested
+	Trial     int // which random trial exposed it
+	Invoke    int // 0-based global index of the offending invocation
+	Detail    string
+}
+
+// Error implements the error interface so violations can flow through
+// error-returning APIs.
+func (v *RankViolation) Error() string {
+	return fmt.Sprintf("phi: %s violates rank-%d condition (%s) at invocation %d (trial %d): %s",
+		v.Primitive, v.R, [...]string{"i", "ii", "iii"}[v.Condition-1], v.Invoke, v.Trial, v.Detail)
+}
+
+// CheckRank tests whether prim behaves consistently with rank ≥ r for
+// an n-process system, over trials random interleavings (each with
+// random per-process schedule offsets a_p, as the definition allows).
+// It returns nil if no violation was found, or the first violation.
+func CheckRank(prim Primitive, n, r, trials int, seed int64) *RankViolation {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		if v := rankTrial(prim, n, r, rng); v != nil {
+			v.Trial = t
+			return v
+		}
+	}
+	return nil
+}
+
+// rankTrial runs one random interleaving of r invocations and checks
+// the three conditions.
+func rankTrial(prim Primitive, n, r int, rng *rand.Rand) *RankViolation {
+	schedules := make([][]Word, n)
+	counters := make([]int, n)
+	for p := 0; p < n; p++ {
+		schedules[p] = prim.Inputs(p)
+		counters[p] = rng.Intn(len(schedules[p])) // arbitrary a_p
+	}
+
+	value := Bottom
+	type writeRec struct {
+		proc  int
+		value Word
+	}
+	var writes []writeRec            // writes among the first r−1 invocations
+	lastByProc := make(map[int]Word) // last value written by each process
+
+	for k := 0; k < r; k++ {
+		p := rng.Intn(n)
+		input := schedules[p][counters[p]%len(schedules[p])]
+		counters[p]++
+		old := value
+		value = prim.Apply(old, input)
+
+		// Condition (iii): of the first r invocations, only the
+		// first returns ⊥.
+		if k > 0 && old == Bottom {
+			return &RankViolation{
+				Primitive: prim.Name(), Condition: 3, R: r, Invoke: k,
+				Detail: "non-first invocation returned ⊥",
+			}
+		}
+		if k < r-1 {
+			// Condition (i): among the first r−1 invocations, any
+			// two by different processes write different values.
+			for _, w := range writes {
+				if w.proc != p && w.value == value {
+					return &RankViolation{
+						Primitive: prim.Name(), Condition: 1, R: r, Invoke: k,
+						Detail: fmt.Sprintf("processes %d and %d both wrote %d", w.proc, p, value),
+					}
+				}
+			}
+			// Condition (ii): successive invocations by the same
+			// process write different values.
+			if prev, ok := lastByProc[p]; ok && prev == value {
+				return &RankViolation{
+					Primitive: prim.Name(), Condition: 2, R: r, Invoke: k,
+					Detail: fmt.Sprintf("process %d wrote %d twice in a row", p, value),
+				}
+			}
+			writes = append(writes, writeRec{proc: p, value: value})
+			lastByProc[p] = value
+		}
+	}
+	return nil
+}
+
+// EstimateRank returns the largest r ≤ maxR for which CheckRank finds
+// no violation. For primitives of infinite rank it returns maxR.
+func EstimateRank(prim Primitive, n, maxR, trials int, seed int64) int {
+	best := 0
+	for r := 1; r <= maxR; r++ {
+		if CheckRank(prim, n, r, trials, seed+int64(r)) != nil {
+			break
+		}
+		best = r
+	}
+	return best
+}
+
+// CheckSelfReset verifies the two self-resettability requirements
+// (paper, Sec. 4): the algebraic reset identity φ(φ(⊥, α[p][i]),
+// β[p][i]) = ⊥ for every process and schedule position, and the
+// uniqueness of the ⊥ return over random α-only interleavings of
+// length steps. It returns nil on success.
+func CheckSelfReset(prim SelfResettable, n, steps, trials int, seed int64) error {
+	for p := 0; p < n; p++ {
+		alphas, betas := prim.Inputs(p), prim.Resets(p)
+		if len(alphas) != len(betas) {
+			return fmt.Errorf("phi: %s: α and β schedules differ in length for process %d", prim.Name(), p)
+		}
+		for i, a := range alphas {
+			if got := prim.Apply(prim.Apply(Bottom, a), betas[i]); got != Bottom {
+				return fmt.Errorf("phi: %s: φ(φ(⊥, α[%d][%d]), β[%d][%d]) = %d, want ⊥", prim.Name(), p, i, p, i, got)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		counters := make([]int, n)
+		value := Bottom
+		for k := 0; k < steps; k++ {
+			p := rng.Intn(n)
+			sched := prim.Inputs(p)
+			old := value
+			value = prim.Apply(old, sched[counters[p]%len(sched)])
+			counters[p]++
+			if k > 0 && old == Bottom {
+				return fmt.Errorf("phi: %s: invocation %d of trial %d returned ⊥", prim.Name(), k, t)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package phi
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	rankTrials = 300
+	rankSeed   = 1
+)
+
+// TestClaimedRanksHold verifies, for every primitive, that no random
+// interleaving violates the rank the primitive claims (capped at 64 for
+// the infinite-rank primitives).
+func TestClaimedRanksHold(t *testing.T) {
+	const n = 6
+	for _, prim := range All(n) {
+		prim := prim
+		t.Run(prim.Name(), func(t *testing.T) {
+			r := prim.Rank()
+			if r == RankInfinite {
+				r = 64
+			}
+			if v := CheckRank(prim, n, r, rankTrials, rankSeed); v != nil {
+				t.Fatal(v)
+			}
+		})
+	}
+}
+
+// TestFiniteRanksAreTight verifies that for every finite-rank
+// primitive, rank+1 is refuted by some interleaving — i.e. the claimed
+// rank is exact, not merely a lower bound.
+func TestFiniteRanksAreTight(t *testing.T) {
+	const n = 6
+	for _, prim := range All(n) {
+		if prim.Rank() == RankInfinite {
+			continue
+		}
+		prim := prim
+		t.Run(prim.Name(), func(t *testing.T) {
+			if v := CheckRank(prim, n, prim.Rank()+1, 5000, rankSeed); v == nil {
+				t.Fatalf("no interleaving refuted rank %d; claimed rank %d is not tight",
+					prim.Rank()+1, prim.Rank())
+			}
+		})
+	}
+}
+
+// TestEstimateRankMatchesClaims checks the estimator against the
+// claimed ranks.
+func TestEstimateRankMatchesClaims(t *testing.T) {
+	const n = 5
+	const cap = 40
+	for _, prim := range All(n) {
+		prim := prim
+		t.Run(prim.Name(), func(t *testing.T) {
+			got := EstimateRank(prim, n, cap, 2000, rankSeed)
+			want := prim.Rank()
+			if want > cap {
+				want = cap
+			}
+			if got != want {
+				t.Fatalf("EstimateRank = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestBoundedFetchIncRankScales spot-checks that the parameterized rank
+// of the bounded fetch-and-increment tracks its bound.
+func TestBoundedFetchIncRankScales(t *testing.T) {
+	for _, r := range []int{2, 3, 5, 8, 16} {
+		prim := NewBoundedFetchInc(r)
+		if got := EstimateRank(prim, 4, r+4, 3000, rankSeed); got != r {
+			t.Errorf("bound %d: estimated rank %d", r, got)
+		}
+	}
+}
+
+// TestSelfResettablePrimitives verifies both self-resettability
+// requirements for every primitive that claims the property.
+func TestSelfResettablePrimitives(t *testing.T) {
+	const n = 6
+	for _, prim := range All(n) {
+		sr, ok := prim.(SelfResettable)
+		if !ok {
+			continue
+		}
+		t.Run(prim.Name(), func(t *testing.T) {
+			if err := CheckSelfReset(sr, n, 200, 100, rankSeed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTestAndSetRankViolationDetail confirms the checker reports a
+// condition-(i) violation with a useful message when test-and-set is
+// claimed to have rank 3.
+func TestTestAndSetRankViolationDetail(t *testing.T) {
+	v := CheckRank(TestAndSet{}, 4, 3, 1000, rankSeed)
+	if v == nil {
+		t.Fatal("expected a violation for test-and-set at rank 3")
+	}
+	if v.Condition != 1 && v.Condition != 2 {
+		t.Fatalf("condition = %d, want a write-collision condition", v.Condition)
+	}
+	if !strings.Contains(v.Error(), "test-and-set") {
+		t.Fatalf("error lacks primitive name: %s", v.Error())
+	}
+}
+
+// TestRankWithSingleProcess checks the degenerate n=1 system: condition
+// (ii) still binds (successive writes by the same process must differ
+// among the first r−1).
+func TestRankWithSingleProcess(t *testing.T) {
+	if v := CheckRank(FetchAndStore{}, 1, 16, 200, rankSeed); v != nil {
+		t.Fatal(v)
+	}
+	if v := CheckRank(TestAndSet{}, 1, 3, 1000, rankSeed); v == nil {
+		t.Fatal("test-and-set should violate rank 3 even with one process")
+	}
+}

@@ -1,0 +1,172 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"fetchphi/internal/memsim"
+)
+
+// withProc runs body as a single simulated process with the queue
+// available, failing the test on simulation errors.
+func withProc(t *testing.T, n int, body func(p *memsim.Proc, q *Queue)) {
+	t.Helper()
+	m := memsim.NewMachine(memsim.CC, n)
+	q := New(m, "wq")
+	m.AddProc("p", func(p *memsim.Proc) { body(p, q) })
+	if err := m.Run(memsim.RunConfig{Sched: memsim.RoundRobin{}}).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	withProc(t, 5, func(p *memsim.Proc, q *Queue) {
+		for _, id := range []int{3, 1, 4, 0, 2} {
+			q.Enqueue(p, id)
+		}
+		for _, want := range []int{3, 1, 4, 0, 2} {
+			if got := q.Dequeue(p); got != want {
+				p.Machine() // keep helper simple; report via panic
+				panic("dequeue order wrong")
+			}
+			_ = want
+		}
+		if q.Dequeue(p) != -1 {
+			panic("queue not empty at end")
+		}
+	})
+}
+
+func TestEnqueueIdempotent(t *testing.T) {
+	withProc(t, 3, func(p *memsim.Proc, q *Queue) {
+		q.Enqueue(p, 1)
+		q.Enqueue(p, 1)
+		q.Enqueue(p, 2)
+		q.Enqueue(p, 1)
+		if got := q.Dequeue(p); got != 1 {
+			panic("want 1 first")
+		}
+		if got := q.Dequeue(p); got != 2 {
+			panic("want 2 second")
+		}
+		if q.Dequeue(p) != -1 {
+			panic("duplicate enqueue leaked")
+		}
+	})
+}
+
+func TestRemoveHeadMiddleTail(t *testing.T) {
+	tests := []struct {
+		name   string
+		remove int
+		want   []int
+	}{
+		{"head", 0, []int{1, 2}},
+		{"middle", 1, []int{0, 2}},
+		{"tail", 2, []int{0, 1}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			withProc(t, 3, func(p *memsim.Proc, q *Queue) {
+				for id := 0; id < 3; id++ {
+					q.Enqueue(p, id)
+				}
+				q.Remove(p, tt.remove)
+				for _, want := range tt.want {
+					if got := q.Dequeue(p); got != want {
+						panic("order after removal wrong")
+					}
+				}
+				if q.Dequeue(p) != -1 {
+					panic("not empty")
+				}
+			})
+		})
+	}
+}
+
+func TestRemoveAbsentIsNoop(t *testing.T) {
+	withProc(t, 2, func(p *memsim.Proc, q *Queue) {
+		q.Remove(p, 1)
+		q.Enqueue(p, 0)
+		q.Remove(p, 1)
+		if got := q.Dequeue(p); got != 0 {
+			panic("remove of absent id corrupted queue")
+		}
+	})
+}
+
+func TestReEnqueueAfterDequeue(t *testing.T) {
+	withProc(t, 2, func(p *memsim.Proc, q *Queue) {
+		q.Enqueue(p, 0)
+		if q.Dequeue(p) != 0 {
+			panic("first dequeue")
+		}
+		q.Enqueue(p, 0)
+		if q.Dequeue(p) != 0 {
+			panic("re-enqueue failed")
+		}
+	})
+}
+
+func TestEmpty(t *testing.T) {
+	withProc(t, 2, func(p *memsim.Proc, q *Queue) {
+		if !q.Empty(p) {
+			panic("fresh queue not empty")
+		}
+		q.Enqueue(p, 1)
+		if q.Empty(p) {
+			panic("non-empty queue reported empty")
+		}
+	})
+}
+
+// TestAgainstReferenceModel drives the queue with random operations and
+// checks every observation against a plain-slice reference.
+func TestAgainstReferenceModel(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(1))
+	withProc(t, n, func(p *memsim.Proc, q *Queue) {
+		var ref []int
+		has := func(id int) bool {
+			for _, x := range ref {
+				if x == id {
+					return true
+				}
+			}
+			return false
+		}
+		for op := 0; op < 3000; op++ {
+			id := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0: // enqueue
+				q.Enqueue(p, id)
+				if !has(id) {
+					ref = append(ref, id)
+				}
+			case 1: // dequeue
+				got := q.Dequeue(p)
+				want := -1
+				if len(ref) > 0 {
+					want = ref[0]
+					ref = ref[1:]
+				}
+				if got != want {
+					panic("dequeue diverged from reference")
+				}
+			case 2: // remove
+				q.Remove(p, id)
+				for i, x := range ref {
+					if x == id {
+						ref = append(ref[:i], ref[i+1:]...)
+						break
+					}
+				}
+			}
+			if q.Empty(p) != (len(ref) == 0) {
+				panic("emptiness diverged from reference")
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package twoproc implements a two-process local-spin mutual exclusion
+// algorithm from reads and writes only, in the tradition of Yang &
+// Anderson's two-process algorithm (Distributed Computing, 1995). The
+// paper's generic algorithms use it as the Acquire₂/Release₂
+// component: the two "process identities" are the two *sides* 0 and 1,
+// and different actual processes may play a side at different times
+// (queue heads in Algorithm G-CC, barrier holders and site waiters in
+// the Sec. 3 transformation, promoted processes in Algorithms T0/T).
+//
+// # Why not the textbook algorithm verbatim
+//
+// The classic formulation signals through a single per-process spin
+// variable P[p] that each entry resets. That is sound when a side's
+// successor cannot arrive before its predecessor's exit section has
+// completely finished — which the Yang–Anderson arbitration tree
+// guarantees structurally. The algorithms in this repository hand
+// sides over more eagerly (a released waiter may re-enter through the
+// opposite side while its releaser is still finishing Release), and
+// under such schedules single-cell signalling admits two classes of
+// corruption, both found by the systematic explorer:
+//
+//   - misdirected signals: an exit that identifies its rival through
+//     the tie-breaker T can observe its own side's successor and
+//     falsely release it;
+//   - wiped or aliased signals: a stale P[p] write from a previous
+//     round can erase a fresh release (deadlock) or satisfy a future
+//     round's wait (mutual exclusion violation).
+//
+// This implementation removes both hazards structurally:
+//
+//   - every acquisition uses a FRESH pair of spin cells, keyed by
+//     (process, per-process round number) and homed at the process, so
+//     writes can never alias across rounds;
+//   - the two cells split the two signal phases ("nudge": a rival saw
+//     the tie-breaker point at you; "release": a rival finished), so
+//     every write is monotone within a round and nothing is wiped;
+//   - registrations (C[side], T) carry the full (process, round)
+//     identity, exits identify the rival to hand off to from the OTHER
+//     side's registration C[1−side] (never from T, which may already
+//     name this side's successor), and release signals are VALUE
+//     MATCHED: the exiting holder stamps the release cell with its own
+//     registration, and a waiter accepts only the stamp of the exact
+//     registration it observed — so an exit that reads a future
+//     round's registration cannot falsely release it.
+//
+// Unbounded per-process cell families mirror the paper's own use of
+// variables indexed by unbounded fetch-and-φ values (Signal[j][v] in
+// Algorithm G-CC); each acquisition still performs O(1) remote memory
+// references on both CC and DSM machines, and all busy-waiting is on
+// the waiter's own cells.
+package twoproc
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+)
+
+// Word is re-exported for brevity.
+type Word = memsim.Word
+
+// Mutex is one instance of the two-process algorithm.
+type Mutex struct {
+	name  string
+	nproc int
+
+	c [2]memsim.Var // registrations: enc(process, round)+1, 0 = free
+	t memsim.Var    // tie-breaker: last registrant
+
+	nudge   *memsim.Dict // nudge[enc]: rival observed T pointing at enc
+	release *memsim.Dict // release[enc]: rival's exit has run
+
+	rounds  []int  // private per-process acquisition counters
+	current []Word // private: registration used by each process's open acquisition
+
+	// sideUser and holder are host-side assertions (no simulated
+	// cost). The side contract is: a side's next user may begin
+	// Acquire as soon as the previous user's Release has STARTED;
+	// overlapping Acquire-to-Release windows on one side are a caller
+	// bug.
+	sideUser [2]int
+	holder   int
+}
+
+// New allocates a fresh instance in m's shared memory. The name
+// prefixes the underlying variable names for diagnostics.
+func New(m *memsim.Machine, name string) *Mutex {
+	n := m.NumProcs()
+	l := &Mutex{
+		name:  name,
+		nproc: n,
+		c: [2]memsim.Var{
+			m.NewVar(name+".C[0]", memsim.HomeGlobal, 0),
+			m.NewVar(name+".C[1]", memsim.HomeGlobal, 0),
+		},
+		t:        m.NewVar(name+".T", memsim.HomeGlobal, 0),
+		rounds:   make([]int, n),
+		current:  make([]Word, n),
+		sideUser: [2]int{-1, -1},
+		holder:   -1,
+	}
+	// Cells for registration key k belong to process k mod N, so they
+	// are local to the process that spins on them.
+	l.nudge = m.NewDictHomed(name+".nudge", func(k Word) int { return int(k % Word(n)) }, 0)
+	l.release = m.NewDictHomed(name+".release", func(k Word) int { return int(k % Word(n)) }, 0)
+	return l
+}
+
+// enc packs a (process, round) registration key.
+func (l *Mutex) enc(p, round int) Word {
+	return Word(round)*Word(l.nproc) + Word(p)
+}
+
+// Acquire performs the entry section for proc playing the given side
+// (0 or 1). At most one process may play each side at any time.
+func (l *Mutex) Acquire(proc *memsim.Proc, side int) {
+	checkSide(side)
+	if prev := l.sideUser[side]; prev != -1 {
+		proc.Fail("twoproc: %s side %d acquired by p%d while p%d uses it (caller contract violated)",
+			l.name, side, proc.ID(), prev)
+	}
+	l.sideUser[side] = proc.ID()
+
+	me := l.enc(proc.ID(), l.rounds[proc.ID()])
+	l.rounds[proc.ID()]++
+	l.current[proc.ID()] = me
+	myNudge := l.nudge.At(me)
+	myRelease := l.release.At(me)
+
+	proc.Write(l.c[side], me+1)
+	proc.Write(l.t, me+1)
+	rival := proc.Read(l.c[1-side])
+	if rival != 0 && proc.Read(l.t) == me+1 {
+		// The rival registered first and may be waiting for the
+		// tie-breaker to move past it; nudge its current round's
+		// cell (a monotone, idempotent write). Note the nudge comes
+		// after our T write: a waiter woken by it is guaranteed to
+		// observe the moved tie-breaker.
+		proc.Write(l.nudge.At(rival-1), 1)
+		proc.Await(func(read func(memsim.Var) Word) bool {
+			return read(myNudge) != 0 || read(myRelease) == rival
+		}, myNudge, myRelease)
+		if proc.Read(l.t) == me+1 {
+			proc.AwaitEq(myRelease, rival)
+		}
+	}
+
+	if l.holder != -1 {
+		proc.Fail("twoproc: %s mutual exclusion broken: p%d entered while p%d holds",
+			l.name, proc.ID(), l.holder)
+	}
+	l.holder = proc.ID()
+}
+
+// Release performs the exit section for proc playing the given side.
+// The rival to hand the lock to is identified from the other side's
+// registration, which is stable for exactly as long as that rival
+// waits.
+func (l *Mutex) Release(proc *memsim.Proc, side int) {
+	checkSide(side)
+	if l.holder != proc.ID() {
+		proc.Fail("twoproc: %s released by p%d, but holder is p%d", l.name, proc.ID(), l.holder)
+	}
+	l.holder = -1
+	l.sideUser[side] = -1
+	proc.Write(l.c[side], 0)
+	rival := proc.Read(l.c[1-side])
+	if rival != 0 {
+		// Stamp the release with our registration. If this read
+		// overtook the rival side into a future round — one that
+		// never waited on us — the stamp will not match what that
+		// round observed, and the signal is inert.
+		proc.Write(l.release.At(rival-1), l.current[proc.ID()]+1)
+	}
+}
+
+func checkSide(side int) {
+	if side != 0 && side != 1 {
+		panic(fmt.Sprintf("twoproc: side must be 0 or 1, got %d", side))
+	}
+}
+
+// Family is a lazily allocated collection of Mutex instances indexed by
+// Word keys. The G-DSM await transformation needs one instance per
+// synchronization site J (e.g. per (queue, predecessor) pair); a Family
+// materializes them on demand, deterministically within the accessing
+// process's turn.
+type Family struct {
+	m    *memsim.Machine
+	name string
+	mus  map[Word]*Mutex
+}
+
+// NewFamily returns an empty instance family.
+func NewFamily(m *memsim.Machine, name string) *Family {
+	return &Family{m: m, name: name, mus: make(map[Word]*Mutex)}
+}
+
+// At returns the instance for key, creating it on first use.
+func (f *Family) At(key Word) *Mutex {
+	if mu, ok := f.mus[key]; ok {
+		return mu
+	}
+	mu := New(f.m, fmt.Sprintf("%s{%d}", f.name, key))
+	f.mus[key] = mu
+	return mu
+}
