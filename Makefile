@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench report gate clean
+
+# ci is the full tier-1 pipeline: static checks, build, tests, and the
+# race detector over the native (real-goroutine) locks.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/nativelock/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# report runs every experiment through the parallel sweep engine and
+# writes BENCH_<experiment>.json artifacts into bench/.
+report:
+	$(GO) run ./cmd/report -quick -out bench
+
+# gate re-runs the experiments and fails on any RMR regression against
+# the artifacts in bench/ (produce them first with `make report`).
+gate:
+	$(GO) run ./cmd/report -quick -out bench/current -baseline bench
+
+clean:
+	rm -rf bench/current

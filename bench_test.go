@@ -28,7 +28,7 @@ import (
 // reports the paper's metrics.
 func benchWorkload(b *testing.B, builder harness.Builder, model memsim.Model, n int) {
 	b.Helper()
-	var mean float64
+	var mean, entryShare float64
 	var worst int64
 	for i := 0; i < b.N; i++ {
 		met, err := harness.Run(builder, harness.Workload{
@@ -39,9 +39,11 @@ func benchWorkload(b *testing.B, builder harness.Builder, model memsim.Model, n 
 		}
 		mean = met.MeanRMR
 		worst = met.WorstRMR
+		entryShare = met.Obs.PhaseShare("entry")
 	}
 	b.ReportMetric(mean, "RMR/entry")
 	b.ReportMetric(float64(worst), "worstRMR/entry")
+	b.ReportMetric(entryShare, "entryPhaseShare")
 }
 
 // BenchmarkE1_GCC_CC — Lemma 1: G-CC on the CC model stays O(1) as N

@@ -1,0 +1,226 @@
+// Command report is the observability driver: it runs any subset of
+// the experiments (E1–E9) through the parallel sweep engine, writes
+// one BENCH_<experiment>.json artifact per experiment, and — when a
+// baseline directory is given — gates the run against the prior
+// artifacts, exiting non-zero on any RMR regression.
+//
+// Usage:
+//
+//	report [-experiments all|E1,E2,...] [-quick] [-seed N] [-workers W]
+//	       [-out dir] [-baseline dir] [-degrade F] [-v]
+//
+// The -degrade flag is a self-test knob: it inflates the recorded RMR
+// metrics by the given factor before artifacts are written, so CI can
+// verify the regression gate actually fires (run once to produce a
+// baseline, run again with -degrade 2 -baseline <dir> and expect a
+// non-zero exit).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"fetchphi/internal/experiments"
+	"fetchphi/internal/obs"
+)
+
+// expRun is one experiment's outcome: the artifact it produced, or the
+// panic that aborted it.
+type expRun struct {
+	id       string
+	artifact *obs.Artifact
+	err      error
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	var (
+		which    = flag.String("experiments", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		quick    = flag.Bool("quick", false, "trim the sweeps (small N only)")
+		seed     = flag.Int64("seed", 1, "scheduler seed family")
+		workers  = flag.Int("workers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")
+		out      = flag.String("out", "bench", "directory to write BENCH_<experiment>.json artifacts into")
+		baseline = flag.String("baseline", "", "directory of prior artifacts to gate against (empty = no gate)")
+		degrade  = flag.Float64("degrade", 1, "self-test: inflate recorded RMR metrics by this factor")
+		verbose  = flag.Bool("v", false, "print the rendered tables")
+	)
+	flag.Parse()
+	if *degrade <= 0 {
+		fmt.Fprintln(os.Stderr, "report: -degrade must be positive")
+		os.Exit(2)
+	}
+
+	registry := experiments.Registry()
+	selected := make(map[string]bool)
+	if strings.EqualFold(*which, "all") {
+		for _, e := range registry {
+			selected[e.ID] = true
+		}
+	} else {
+		known := make(map[string]string)
+		for _, e := range registry {
+			known[strings.ToLower(e.ID)] = e.ID
+		}
+		for _, tok := range strings.Split(*which, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			id, ok := known[strings.ToLower(tok)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "report: unknown experiment %q (want E1..E9 or all)\n", tok)
+				os.Exit(2)
+			}
+			selected[id] = true
+		}
+		if len(selected) == 0 {
+			fmt.Fprintln(os.Stderr, "report: no experiments selected")
+			os.Exit(2)
+		}
+	}
+
+	commit := gitCommit()
+	params := obs.Params{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	// Run the selected experiments concurrently, one goroutine per
+	// experiment; within each, the sweep engine shards cells across its
+	// own worker pool. Record hooks are per-experiment closures, called
+	// sequentially from that experiment's goroutine, so no locking is
+	// needed around the cell slices.
+	runs := make([]expRun, 0, len(selected))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, e := range registry {
+		if !selected[e.ID] {
+			continue
+		}
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := expRun{id: e.ID}
+			art := &obs.Artifact{
+				Experiment: e.ID,
+				CreatedBy:  "cmd/report",
+				Commit:     commit,
+				Params:     params,
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						run.err = fmt.Errorf("%v", r)
+					}
+				}()
+				opts := experiments.Opts{
+					Quick: *quick, Seed: *seed, Workers: *workers,
+					Record: func(c obs.Cell) { art.Cells = append(art.Cells, c) },
+				}
+				tables := e.Build(opts)
+				for i := range tables {
+					art.Tables = append(art.Tables, tables[i].JSON())
+				}
+				if *verbose {
+					mu.Lock()
+					for i := range tables {
+						tables[i].Format(os.Stdout)
+						fmt.Println()
+					}
+					mu.Unlock()
+				}
+			}()
+			run.artifact = art
+			mu.Lock()
+			runs = append(runs, run)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+
+	failed := false
+	for _, r := range runs {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s FAILED: %v\n", r.id, r.err)
+			failed = true
+		}
+	}
+
+	// Apply the self-test degradation before writing, so the degraded
+	// artifacts are what the gate sees (and what a later run would
+	// compare against).
+	if *degrade != 1 {
+		for _, r := range runs {
+			for i := range r.artifact.Cells {
+				c := &r.artifact.Cells[i]
+				if c.WallClock {
+					continue
+				}
+				c.MeanRMR *= *degrade
+				c.WorstRMR = int64(math.Ceil(float64(c.WorstRMR) * *degrade))
+			}
+		}
+	}
+
+	for _, r := range runs {
+		if r.err != nil {
+			continue
+		}
+		path := filepath.Join(*out, obs.ArtifactName(r.id))
+		if err := r.artifact.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: %d cells, %d tables -> %s\n",
+			r.id, len(r.artifact.Cells), len(r.artifact.Tables), path)
+	}
+
+	if *baseline != "" {
+		var regressions []obs.Regression
+		for _, r := range runs {
+			if r.err != nil {
+				continue
+			}
+			basePath := filepath.Join(*baseline, obs.ArtifactName(r.id))
+			base, err := obs.ReadArtifact(basePath)
+			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					fmt.Printf("%s: no baseline at %s (skipping gate)\n", r.id, basePath)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "report: %v\n", err)
+				failed = true
+				continue
+			}
+			regressions = append(regressions, obs.Compare(base, r.artifact, nil)...)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "\nregression gate FAILED (%d):\n", len(regressions))
+			for _, reg := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", reg)
+			}
+			failed = true
+		} else if !failed {
+			fmt.Println("regression gate passed")
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

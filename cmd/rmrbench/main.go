@@ -1,27 +1,36 @@
 // Command rmrbench regenerates the experiment tables of DESIGN.md
-// (E1–E8): every complexity claim of the paper, measured as remote
-// memory references on the simulated CC and DSM machines.
+// (E1–E9): every complexity claim of the paper, measured as remote
+// memory references on the simulated CC and DSM machines, plus the
+// native-lock throughput check.
 //
 // Usage:
 //
 //	rmrbench [-experiment all|E1|E2|...] [-quick] [-seed N]
+//	         [-format table|csv] [-json dir]
+//
+// With -json, each experiment additionally writes a
+// BENCH_<experiment>.json benchmark artifact into the given directory
+// — the same schema cmd/report produces and gates on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fetchphi/internal/experiments"
+	"fetchphi/internal/obs"
 )
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
-		quick  = flag.Bool("quick", false, "trim the sweeps (small N only)")
-		seed   = flag.Int64("seed", 1, "scheduler seed family")
-		format = flag.String("format", "table", "output format: table or csv")
+		which   = flag.String("experiment", "all", "experiment id (E1..E9) or 'all'")
+		quick   = flag.Bool("quick", false, "trim the sweeps (small N only)")
+		seed    = flag.Int64("seed", 1, "scheduler seed family")
+		format  = flag.String("format", "table", "output format: table or csv")
+		jsonDir = flag.String("json", "", "also write BENCH_<experiment>.json artifacts into this directory")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -29,14 +38,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Opts{Quick: *quick, Seed: *seed}
 	ran := 0
 	for _, e := range experiments.Registry() {
 		if !strings.EqualFold(*which, "all") && !strings.EqualFold(*which, e.ID) {
 			continue
 		}
 		ran++
+		art := &obs.Artifact{
+			Experiment: e.ID,
+			CreatedBy:  "cmd/rmrbench",
+			Params:     obs.Params{Quick: *quick, Seed: *seed},
+		}
+		opts := experiments.Opts{Quick: *quick, Seed: *seed}
+		if *jsonDir != "" {
+			opts.Record = func(c obs.Cell) { art.Cells = append(art.Cells, c) }
+		}
 		for _, tbl := range e.Build(opts) {
+			if *jsonDir != "" {
+				art.Tables = append(art.Tables, tbl.JSON())
+			}
 			if *format == "csv" {
 				if err := tbl.WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "rmrbench: %v\n", err)
@@ -47,9 +67,16 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, obs.ArtifactName(e.ID))
+			if err := art.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "rmrbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "rmrbench: unknown experiment %q (want E1..E8 or all)\n", *which)
+		fmt.Fprintf(os.Stderr, "rmrbench: unknown experiment %q (want E1..E9 or all)\n", *which)
 		os.Exit(2)
 	}
 }

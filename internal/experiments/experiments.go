@@ -11,6 +11,7 @@ import (
 	"fetchphi/internal/core"
 	"fetchphi/internal/harness"
 	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
 	"fetchphi/internal/phi"
 )
 
@@ -22,6 +23,15 @@ type Opts struct {
 	Quick bool
 	// Seed selects the scheduler seed family.
 	Seed int64
+	// Workers caps the sweep engine's worker pool (0 = GOMAXPROCS).
+	// Every cell carries its own seed, so the worker count never
+	// changes results — only wall-clock time.
+	Workers int
+	// Record, when non-nil, receives one obs.Cell per measured
+	// workload — the hook cmd/report and rmrbench -json use to build
+	// benchmark artifacts. Called sequentially from the experiment
+	// builder's goroutine, after the cell's run completes.
+	Record func(obs.Cell)
 }
 
 func (o Opts) ns(full []int) []int {
@@ -44,14 +54,29 @@ func (o Opts) entries() int {
 	return 10
 }
 
-// run executes one workload, panicking on correctness failures —
-// every experiment doubles as a correctness gate.
-func run(b harness.Builder, w harness.Workload) harness.Metrics {
-	met, err := harness.Run(b, w)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+// sweep shards the cells across the worker pool (the parallel sweep
+// engine) and returns their metrics in input order, panicking on the
+// first correctness failure — every experiment doubles as a
+// correctness gate. Measured cells are forwarded to o.Record.
+func (o Opts) sweep(cells []harness.Cell) []harness.Metrics {
+	results := harness.Sweep(cells, o.Workers)
+	out := make([]harness.Metrics, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", r.Cell.Experiment, r.Err))
+		}
+		if o.Record != nil {
+			o.Record(r.Record())
+		}
+		out[i] = r.Metrics
 	}
-	return met
+	return out
+}
+
+// run executes one workload through the sweep engine (a one-cell
+// sweep), panicking on correctness failures.
+func (o Opts) run(experiment, alg string, b harness.Builder, w harness.Workload) harness.Metrics {
+	return o.sweep([]harness.Cell{{Experiment: experiment, Algorithm: alg, Build: b, Workload: w}})[0]
 }
 
 // Registry returns the experiment builders keyed by id, in report
@@ -72,6 +97,7 @@ func Registry() []struct {
 		{"E6", func(o Opts) []harness.Table { return []harness.Table{E6Baselines(o)} }},
 		{"E7", func(o Opts) []harness.Table { return []harness.Table{E7Fairness(o)} }},
 		{"E8", E8Ablations},
+		{"E9", func(o Opts) []harness.Table { return []harness.Table{E9Native(o)} }},
 	}
 }
 
@@ -89,15 +115,23 @@ func E1GCC(o Opts) harness.Table {
 		"fetch-and-store":     func(int) phi.Primitive { return phi.FetchAndStore{} },
 		"2N-bounded-inc":      func(n int) phi.Primitive { return phi.NewBoundedFetchInc(2 * n) },
 	}
+	var cells []harness.Cell
 	for _, n := range o.ns([]int{2, 4, 8, 16, 32, 64, 128, 256}) {
 		for _, name := range []string{"fetch-and-increment", "fetch-and-store", "2N-bounded-inc"} {
 			pick := prims[name]
-			met := run(func(m *memsim.Machine) harness.Algorithm {
-				return core.NewGCC(m, pick(m.NumProcs()))
-			}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-			t.AddRow(harness.Itoa(int64(n)), name,
-				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.MaxBypass))
+			cells = append(cells, harness.Cell{
+				Experiment: "E1", Algorithm: "g-cc/" + name,
+				Build: func(m *memsim.Machine) harness.Algorithm {
+					return core.NewGCC(m, pick(m.NumProcs()))
+				},
+				Workload: harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+			})
 		}
+	}
+	for i, met := range o.sweep(cells) {
+		w := cells[i].Workload
+		t.AddRow(harness.Itoa(int64(w.N)), cells[i].Algorithm[len("g-cc/"):],
+			harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.MaxBypass))
 	}
 	return t
 }
@@ -116,18 +150,26 @@ func E2GDSM(o Opts) harness.Table {
 		"fetch-and-store":     func(int) phi.Primitive { return phi.FetchAndStore{} },
 		"2N-bounded-inc":      func(n int) phi.Primitive { return phi.NewBoundedFetchInc(2 * n) },
 	}
+	var cells []harness.Cell
 	for _, n := range o.ns([]int{2, 4, 8, 16, 32, 64, 128, 256}) {
 		for _, name := range []string{"fetch-and-increment", "fetch-and-store", "2N-bounded-inc"} {
 			pick := prims[name]
-			met := run(func(m *memsim.Machine) harness.Algorithm {
-				return core.NewGDSM(m, pick(m.NumProcs()))
-			}, harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-			if met.NonLocalSpins != 0 {
-				panic("experiments: G-DSM spun non-locally")
-			}
-			t.AddRow(harness.Itoa(int64(n)), name,
-				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.NonLocalSpins))
+			cells = append(cells, harness.Cell{
+				Experiment: "E2", Algorithm: "g-dsm/" + name,
+				Build: func(m *memsim.Machine) harness.Algorithm {
+					return core.NewGDSM(m, pick(m.NumProcs()))
+				},
+				Workload: harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+			})
 		}
+	}
+	for i, met := range o.sweep(cells) {
+		if met.NonLocalSpins != 0 {
+			panic("experiments: G-DSM spun non-locally")
+		}
+		w := cells[i].Workload
+		t.AddRow(harness.Itoa(int64(w.N)), cells[i].Algorithm[len("g-dsm/"):],
+			harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.NonLocalSpins))
 	}
 	return t
 }
@@ -141,18 +183,28 @@ func E3Tree(o Opts) harness.Table {
 		Claim:   "worst RMR per entry grows with the tree height ⌈log_⌊r/2⌋ N⌉, not with N",
 		Columns: []string{"N", "rank r", "height", "mean RMR/entry", "worst RMR/entry", "worst/height"},
 	}
+	var cells []harness.Cell
+	var ranks, heights []int
 	for _, n := range o.ns([]int{4, 16, 64, 256}) {
 		for _, r := range []int{4, 8, 16, 64} {
-			prim := phi.NewBoundedFetchInc(r)
+			r := r
 			mm := memsim.NewMachine(memsim.DSM, n)
-			h := core.NewTree(mm, phi.NewBoundedFetchInc(r)).Height()
-			met := run(func(m *memsim.Machine) harness.Algorithm {
-				return core.NewTree(m, prim)
-			}, harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-			t.AddRow(harness.Itoa(int64(n)), harness.Itoa(int64(r)), harness.Itoa(int64(h)),
-				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR),
-				harness.Ftoa(float64(met.WorstRMR)/float64(h)))
+			ranks = append(ranks, r)
+			heights = append(heights, core.NewTree(mm, phi.NewBoundedFetchInc(r)).Height())
+			cells = append(cells, harness.Cell{
+				Experiment: "E3", Algorithm: fmt.Sprintf("tree/rank-%d", r),
+				Build: func(m *memsim.Machine) harness.Algorithm {
+					return core.NewTree(m, phi.NewBoundedFetchInc(r))
+				},
+				Workload: harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+			})
 		}
+	}
+	for i, met := range o.sweep(cells) {
+		n, h := cells[i].Workload.N, heights[i]
+		t.AddRow(harness.Itoa(int64(n)), harness.Itoa(int64(ranks[i])), harness.Itoa(int64(h)),
+			harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR),
+			harness.Ftoa(float64(met.WorstRMR)/float64(h)))
 	}
 	t.Notes = append(t.Notes,
 		"worst/height ≈ constant across N at fixed r demonstrates the Θ(log_r N) shape",
@@ -170,25 +222,32 @@ func E4AlgT(o Opts) harness.Table {
 		Claim:   "T and T0 heights grow like log N/log log N; the rank-4 tree and the read/write Yang–Anderson tree grow like log₂ N — the gap widens with N",
 		Columns: []string{"N", "height T", "height tree", "worst T", "worst T0", "worst tree", "worst r/w", "mean T", "mean tree"},
 	}
-	for _, n := range o.ns([]int{4, 16, 64, 256}) {
+	variants := []struct {
+		name string
+		b    harness.Builder
+	}{
+		{"t", func(m *memsim.Machine) harness.Algorithm { return core.NewT(m, phi.BoundedIncDec{}) }},
+		{"t0", func(m *memsim.Machine) harness.Algorithm { return core.NewT0(m) }},
+		{"tree4", func(m *memsim.Machine) harness.Algorithm { return core.NewTree(m, phi.NewBoundedFetchInc(4)) }},
+		{"yang-anderson-tree", func(m *memsim.Machine) harness.Algorithm { return baseline.NewYangAndersonTree(m) }},
+	}
+	ns := o.ns([]int{4, 16, 64, 256})
+	var cells []harness.Cell
+	for _, n := range ns {
+		for _, v := range variants {
+			cells = append(cells, harness.Cell{
+				Experiment: "E4", Algorithm: v.name, Build: v.b,
+				Workload: harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+			})
+		}
+	}
+	mets := o.sweep(cells)
+	for i, n := range ns {
 		mm := memsim.NewMachine(memsim.CC, n)
 		hT := core.NewT(mm, phi.BoundedIncDec{}).MaxLevel()
 		mm2 := memsim.NewMachine(memsim.CC, n)
 		hTree := core.NewTree(mm2, phi.NewBoundedFetchInc(4)).Height()
-
-		metT := run(func(m *memsim.Machine) harness.Algorithm {
-			return core.NewT(m, phi.BoundedIncDec{})
-		}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-		metT0 := run(func(m *memsim.Machine) harness.Algorithm {
-			return core.NewT0(m)
-		}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-		metTree := run(func(m *memsim.Machine) harness.Algorithm {
-			return core.NewTree(m, phi.NewBoundedFetchInc(4))
-		}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-		metYA := run(func(m *memsim.Machine) harness.Algorithm {
-			return baseline.NewYangAndersonTree(m)
-		}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-
+		metT, metT0, metTree, metYA := mets[4*i], mets[4*i+1], mets[4*i+2], mets[4*i+3]
 		t.AddRow(harness.Itoa(int64(n)), harness.Itoa(int64(hT)), harness.Itoa(int64(hTree)),
 			harness.Itoa(metT.WorstRMR), harness.Itoa(metT0.WorstRMR), harness.Itoa(metTree.WorstRMR),
 			harness.Itoa(metYA.WorstRMR),
@@ -257,20 +316,29 @@ func E6Baselines(o Opts) harness.Table {
 	if o.Quick {
 		n = 8
 	}
+	var cells []harness.Cell
 	for _, b := range baseline.Builders() {
+		name := b(memsim.NewMachine(memsim.CC, 2)).Name()
 		for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
-			met := run(b, harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-			mm := memsim.NewMachine(model, 2)
-			t.AddRow(b(mm).Name(), model.String(), harness.Itoa(int64(n)),
-				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.NonLocalSpins))
+			cells = append(cells, harness.Cell{
+				Experiment: "E6", Algorithm: name, Build: b,
+				Workload: harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+			})
 		}
 	}
 	// The generic algorithms in the same table, for the crossover.
 	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
-		met := run(func(m *memsim.Machine) harness.Algorithm {
-			return core.NewGDSM(m, phi.FetchAndStore{})
-		}, harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
-		t.AddRow("g-dsm/fetch-and-store", model.String(), harness.Itoa(int64(n)),
+		cells = append(cells, harness.Cell{
+			Experiment: "E6", Algorithm: "g-dsm/fetch-and-store",
+			Build: func(m *memsim.Machine) harness.Algorithm {
+				return core.NewGDSM(m, phi.FetchAndStore{})
+			},
+			Workload: harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed},
+		})
+	}
+	for i, met := range o.sweep(cells) {
+		c := cells[i]
+		t.AddRow(c.Algorithm, c.Workload.Model.String(), harness.Itoa(int64(n)),
 			harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR), harness.Itoa(met.NonLocalSpins))
 	}
 	return t
@@ -307,31 +375,52 @@ func E7Fairness(o Opts) harness.Table {
 		"ticket":        func(m *memsim.Machine) harness.Algorithm { return baseline.NewTicketLock(m) },
 		"test-and-set":  func(m *memsim.Machine) harness.Algorithm { return baseline.NewTASLock(m) },
 	}
-	for _, name := range []string{
+	names := []string{
 		"g-cc/fetch-and-increment", "g-dsm/fetch-and-store", "t0", "t/bounded-inc-dec",
 		"mcs", "mcs-swap-only", "ticket", "test-and-set",
-	} {
+	}
+	// Cells per algorithm: 8 seeds at each entry count, then one
+	// adversarial run — a scheduler that starves process 0 whenever
+	// anything else can run. Queue-based algorithms keep the victim's
+	// bypass at its structural bound; unfair locks let the rest of the
+	// system lap the victim for the whole run.
+	var cells []harness.Cell
+	for _, name := range names {
 		b := builders[name]
-		var bypass [2]int64
-		for i, e := range entries {
-			worst := int64(0)
+		for _, e := range entries {
 			for seed := int64(0); seed < 8; seed++ {
-				met := run(b, harness.Workload{Model: memsim.CC, N: n, Entries: e, CSOps: 1, Seed: o.Seed + seed})
-				if met.MaxBypass > worst {
-					worst = met.MaxBypass
+				cells = append(cells, harness.Cell{
+					Experiment: "E7", Algorithm: name, Build: b,
+					Workload: harness.Workload{Model: memsim.CC, N: n, Entries: e, CSOps: 1, Seed: o.Seed + seed},
+				})
+			}
+		}
+		cells = append(cells, harness.Cell{
+			Experiment: "E7", Algorithm: name + "/adversarial", Build: b,
+			Workload: harness.Workload{
+				Model: memsim.CC, N: n, Entries: entries[1], CSOps: 1,
+				// The cell's Seed is informational here (Sched wins);
+				// keep it distinct so artifact cell keys stay unique.
+				Seed:  o.Seed + 99,
+				Sched: memsim.NewAdversary(o.Seed+99, 0),
+			},
+		})
+	}
+	mets := o.sweep(cells)
+	perAlg := len(entries)*8 + 1
+	for a, name := range names {
+		base := a * perAlg
+		var bypass [2]int64
+		for i := range entries {
+			worst := int64(0)
+			for seed := 0; seed < 8; seed++ {
+				if by := mets[base+i*8+seed].MaxBypass; by > worst {
+					worst = by
 				}
 			}
 			bypass[i] = worst
 		}
-		// Adversarial column: a scheduler that starves process 0
-		// whenever anything else can run. Queue-based algorithms keep
-		// the victim's bypass at its structural bound; unfair locks
-		// let the rest of the system lap the victim for the whole
-		// run.
-		adv := run(b, harness.Workload{
-			Model: memsim.CC, N: n, Entries: entries[1], CSOps: 1,
-			Sched: memsim.NewAdversary(o.Seed+99, 0),
-		})
+		adv := mets[base+perAlg-1]
 		t.AddRow(name, harness.Itoa(bypass[0]), harness.Itoa(bypass[1]), harness.Itoa(adv.MaxBypass))
 	}
 	return t
@@ -402,7 +491,7 @@ func e8bTransformCost(o Opts) harness.Table {
 			{"g-cc", gcc, memsim.DSM},
 			{"g-dsm", gdsm, memsim.DSM},
 		} {
-			met := run(c.b, harness.Workload{Model: c.model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
+			met := o.run("E8b", c.name, c.b, harness.Workload{Model: c.model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
 			t.AddRow(harness.Itoa(int64(n)), c.name, c.model.String(),
 				harness.Ftoa(met.MeanRMR), harness.Itoa(met.NonLocalSpins))
 		}
@@ -427,7 +516,7 @@ func e8cDegreeSweep(o Opts) harness.Table {
 		deg := deg
 		mm := memsim.NewMachine(memsim.CC, n)
 		h := core.NewTWithDegree(mm, phi.BoundedIncDec{}, deg).MaxLevel()
-		met := run(func(m *memsim.Machine) harness.Algorithm {
+		met := o.run("E8c", fmt.Sprintf("t/degree-%d", deg), func(m *memsim.Machine) harness.Algorithm {
 			return core.NewTWithDegree(m, phi.BoundedIncDec{}, deg)
 		}, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
 		t.AddRow(harness.Itoa(int64(n)), harness.Itoa(int64(deg)), harness.Itoa(int64(h)),
@@ -455,7 +544,7 @@ func e8dExitHandshake(o Opts) harness.Table {
 	}
 	for _, n := range o.ns([]int{4, 16, 64}) {
 		for _, v := range variants {
-			met := run(v.b, harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
+			met := o.run("E8d", v.name, v.b, harness.Workload{Model: memsim.DSM, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
 			var blocks int64
 			for _, ps := range met.Result.Procs {
 				blocks += ps.AwaitBlocks
@@ -493,7 +582,7 @@ func e8eCoherenceModel(o Opts) harness.Table {
 	}
 	for _, a := range algs {
 		for _, model := range []memsim.Model{memsim.CC, memsim.CCUpdate, memsim.DSM} {
-			met := run(a.b, harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
+			met := o.run("E8e", a.name, a.b, harness.Workload{Model: model, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
 			t.AddRow(a.name, model.String(), harness.Itoa(int64(n)),
 				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR))
 		}
@@ -521,7 +610,7 @@ func e8fSpecialization(o Opts) harness.Table {
 	}
 	for _, n := range o.ns([]int{4, 16, 64}) {
 		for _, v := range variants {
-			met := run(v.b, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
+			met := o.run("E8f", v.name, v.b, harness.Workload{Model: memsim.CC, N: n, Entries: o.entries(), CSOps: 1, Seed: o.Seed})
 			t.AddRow(harness.Itoa(int64(n)), v.name,
 				harness.Ftoa(met.MeanRMR), harness.Itoa(met.WorstRMR))
 		}

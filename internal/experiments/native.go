@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/nativelock"
+	"fetchphi/internal/obs"
+)
+
+// nativeCase wraps one native lock behind a uniform critical-section
+// runner, mirroring cmd/lockstress.
+type nativeCase struct {
+	name string
+	cs   func(id int, body func())
+}
+
+func nativeCases(workers int) []nativeCase {
+	var mu sync.Mutex
+	var tas nativelock.TASLock
+	var ttas nativelock.TTASLock
+	var ticket nativelock.TicketLock
+	anderson := nativelock.NewAndersonLock(workers)
+	clh := nativelock.NewCLHLock()
+	mcs := nativelock.NewMCSLock()
+	genInc := nativelock.NewGeneric(workers, nativelock.FetchIncrement)
+	genSwap := nativelock.NewGeneric(workers, nativelock.FetchStore)
+
+	return []nativeCase{
+		{"sync.Mutex", func(_ int, body func()) { mu.Lock(); body(); mu.Unlock() }},
+		{"tas", func(_ int, body func()) { tas.Lock(); body(); tas.Unlock() }},
+		{"ttas", func(_ int, body func()) { ttas.Lock(); body(); ttas.Unlock() }},
+		{"ticket", func(_ int, body func()) { ticket.Lock(); body(); ticket.Unlock() }},
+		{"anderson", func(_ int, body func()) { s := anderson.Lock(); body(); anderson.UnlockSlot(s) }},
+		{"clh", func(_ int, body func()) { t := clh.Lock(); body(); clh.Unlock(t) }},
+		{"mcs", func(_ int, body func()) { n := mcs.Lock(); body(); mcs.Unlock(n) }},
+		{"generic-inc", func(id int, body func()) { genInc.LockID(id); body(); genInc.UnlockID(id) }},
+		{"generic-swap", func(id int, body func()) { genSwap.LockID(id); body(); genSwap.UnlockID(id) }},
+	}
+}
+
+func (o Opts) nativeIters() int {
+	if o.Quick {
+		return 4_000
+	}
+	return 20_000
+}
+
+// E9Native measures wall-clock throughput of the native (real
+// goroutine) spin locks — the one experiment that is not a
+// deterministic simulation. Its cells are recorded with WallClock set
+// so the regression gate knows to skip them: ns/op on a shared CI box
+// is informative, not a stable invariant. Every case still
+// double-checks mutual exclusion by counting unprotected increments,
+// and panics on lost updates.
+func E9Native(o Opts) harness.Table {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	iters := o.nativeIters()
+	t := harness.Table{
+		ID:      "E9",
+		Title:   "Native lock throughput (real goroutines)",
+		Claim:   "local-spin queue locks stay competitive with sync.Mutex under contention",
+		Columns: []string{"lock", "workers", "total ops", "ns/op"},
+	}
+	for _, c := range nativeCases(workers) {
+		var counter int
+		body := func() { counter++ }
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					c.cs(w, body)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := workers * iters
+		if counter != total {
+			panic(fmt.Sprintf("experiments: E9 %s lost updates: %d != %d", c.name, counter, total))
+		}
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(total)
+		t.AddRow(c.name, harness.Itoa(int64(workers)), harness.Itoa(int64(total)),
+			harness.Ftoa(nsPerOp))
+		if o.Record != nil {
+			o.Record(obs.Cell{
+				Experiment: "E9",
+				Algorithm:  c.name,
+				Model:      "native",
+				N:          workers,
+				Entries:    total,
+				WallClock:  true,
+				NsPerOp:    nsPerOp,
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wall-clock, GOMAXPROCS=%d; excluded from the RMR regression gate", runtime.GOMAXPROCS(0)))
+	return t
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
 )
 
 // Algorithm is an N-process mutual exclusion algorithm instantiated on
@@ -73,6 +74,10 @@ type Metrics struct {
 	// entry section. Starvation-free algorithms keep this bounded
 	// (independent of Entries).
 	MaxBypass int64
+	// Obs holds the distributional metrics behind the scalars above:
+	// per-entry histograms of RMR cost, await blocks, and bypass, and
+	// the per-phase RMR breakdown.
+	Obs obs.RunMetrics
 }
 
 // Run executes one workload and returns its metrics. The run fails
@@ -94,31 +99,40 @@ func Run(b Builder, w Workload) (Metrics, error) {
 	m := memsim.NewMachine(w.Model, w.N)
 	alg := b(m)
 	scratch := m.NewVar("cs-scratch", memsim.HomeGlobal, 0)
-	bypass := make([]int64, w.N)
+	// Per-process, per-entry samples: the engine schedules at most one
+	// process body at a time, but each process only appends to its own
+	// slice anyway.
+	type entrySample struct{ rmrs, waits, bypass int64 }
+	samples := make([][]entrySample, w.N)
 	for i := 0; i < w.N; i++ {
 		i := i
 		if i >= participants {
 			m.AddProc(fmt.Sprintf("idle%d", i), func(*memsim.Proc) {})
 			continue
 		}
+		samples[i] = make([]entrySample, 0, w.Entries)
 		local := m.NewVar(fmt.Sprintf("ncs-local[%d]", i), i, 0)
 		m.AddProc(fmt.Sprintf("p%d", i), func(p *memsim.Proc) {
 			for e := 0; e < w.Entries; e++ {
 				before := m.CSEntriesSoFar()
+				waitsBefore := p.Stats().AwaitBlocks
 				p.BeginEntrySection()
 				alg.Acquire(p)
 				p.EnterCS()
 				// −1: CSEntriesSoFar already includes this process's
 				// own just-recorded entry.
-				if by := m.CSEntriesSoFar() - before - 1; by > bypass[i] {
-					bypass[i] = by
-				}
+				bypass := m.CSEntriesSoFar() - before - 1
 				for k := 0; k < w.CSOps; k++ {
 					p.RMW(scratch, func(x memsim.Word) memsim.Word { return x + 1 })
 				}
 				p.ExitCS()
 				alg.Release(p)
-				p.EndExitSection()
+				gap := p.EndExitSection()
+				samples[i] = append(samples[i], entrySample{
+					rmrs:   gap,
+					waits:  p.Stats().AwaitBlocks - waitsBefore,
+					bypass: bypass,
+				})
 				for k := 0; k < w.NCSOps; k++ {
 					p.Write(local, memsim.Word(k))
 				}
@@ -133,9 +147,30 @@ func Run(b Builder, w Workload) (Metrics, error) {
 		WorstRMR:      res.MaxRMRPerEntry(),
 		NonLocalSpins: res.NonLocalSpinReads(),
 	}
-	for _, by := range bypass {
-		if by > met.MaxBypass {
-			met.MaxBypass = by
+	met.Obs = obs.RunMetrics{
+		Entries:   res.CSEntries,
+		TotalRMRs: res.TotalRMRs(),
+	}
+	for ph := memsim.Phase(0); ph < memsim.NumPhases; ph++ {
+		var total int64
+		for i := range res.Procs {
+			total += res.Procs[i].PhaseRMRs[ph]
+		}
+		if total != 0 {
+			if met.Obs.PhaseRMRs == nil {
+				met.Obs.PhaseRMRs = make(map[string]int64, int(memsim.NumPhases))
+			}
+			met.Obs.PhaseRMRs[ph.String()] = total
+		}
+	}
+	for _, ss := range samples {
+		for _, s := range ss {
+			met.Obs.RMRPerEntry.Observe(s.rmrs)
+			met.Obs.WaitsPerEntry.Observe(s.waits)
+			met.Obs.BypassPerEntry.Observe(s.bypass)
+			if s.bypass > met.MaxBypass {
+				met.MaxBypass = s.bypass
+			}
 		}
 	}
 	if err := res.Err(); err != nil {

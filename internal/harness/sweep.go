@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"fetchphi/internal/obs"
+)
+
+// Cell is one point of an experiment sweep: an algorithm builder plus
+// the workload to run it under. The Workload's Seed (or explicit
+// Sched) fully determines the run, so a sweep's cells are independent
+// and can execute in any order — or in parallel — with bit-identical
+// results.
+type Cell struct {
+	// Experiment is the owning experiment id (E1..E9), carried into
+	// benchmark artifacts.
+	Experiment string
+	// Algorithm is the display/artifact name for the builder.
+	Algorithm string
+	// Build constructs the algorithm under test.
+	Build Builder
+	// Workload is the configuration to run.
+	Workload Workload
+}
+
+// CellResult pairs a cell with what it measured.
+type CellResult struct {
+	// Cell is the input cell.
+	Cell Cell
+	// Metrics is the run's measurement (valid even when Err != nil,
+	// as far as the run got).
+	Metrics Metrics
+	// Err is the run's failure, if any.
+	Err error
+}
+
+// Record converts the result into its benchmark-artifact form.
+func (r CellResult) Record() obs.Cell {
+	return obs.Cell{
+		Experiment:    r.Cell.Experiment,
+		Algorithm:     r.Cell.Algorithm,
+		Model:         r.Cell.Workload.Model.String(),
+		N:             r.Cell.Workload.N,
+		Entries:       r.Cell.Workload.Entries,
+		Seed:          r.Cell.Workload.Seed,
+		MeanRMR:       r.Metrics.MeanRMR,
+		WorstRMR:      r.Metrics.WorstRMR,
+		NonLocalSpins: r.Metrics.NonLocalSpins,
+		MaxBypass:     r.Metrics.MaxBypass,
+		Steps:         r.Metrics.Result.Steps,
+		Run:           r.Metrics.Obs,
+	}
+}
+
+// Sweep runs every cell and returns results in input order. Cells are
+// sharded across `workers` goroutines (0 or negative means
+// GOMAXPROCS); each cell builds its own machine and scheduler from the
+// cell's seed, so the outcome is deterministic and identical to a
+// serial run — parallelism changes only wall-clock time. Errors are
+// reported per cell, not short-circuited: callers decide whether one
+// failed cell poisons the sweep.
+func Sweep(cells []Cell, workers int) []CellResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			met, err := Run(c.Build, c.Workload)
+			results[i] = CellResult{Cell: c, Metrics: met, Err: err}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cells[i]
+				met, err := Run(c.Build, c.Workload)
+				results[i] = CellResult{Cell: c, Metrics: met, Err: err}
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

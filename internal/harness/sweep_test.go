@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"fetchphi/internal/memsim"
+)
+
+// sweepCells builds a small (model, N, seed) grid over the test lock —
+// cheap, deterministic, and exercising awaits.
+func sweepCells() []Cell {
+	var cells []Cell
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for _, n := range []int{2, 4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cells = append(cells, Cell{
+					Experiment: "TEST",
+					Algorithm:  "fake",
+					Build:      newFakeLock,
+					Workload:   Workload{Model: model, N: n, Entries: 3, CSOps: 1, Seed: seed},
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// TestSweepParallelMatchesSerial is the determinism gate: the parallel
+// sweep must produce bit-identical metrics to the serial path for the
+// same cells — including every histogram bucket, not just the scalar
+// summaries.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cells := sweepCells()
+	serial := Sweep(cells, 1)
+	parallel := Sweep(cells, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Err != nil {
+			t.Fatalf("cell %d failed: %v", i, serial[i].Err)
+		}
+		if parallel[i].Err != nil {
+			t.Fatalf("parallel cell %d failed: %v", i, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Metrics, parallel[i].Metrics) {
+			t.Fatalf("cell %d metrics diverged between serial and parallel:\nserial   %+v\nparallel %+v",
+				i, serial[i].Metrics, parallel[i].Metrics)
+		}
+	}
+}
+
+// TestSweepRepeatable: running the same sweep twice is bit-identical
+// (no hidden global state).
+func TestSweepRepeatable(t *testing.T) {
+	cells := sweepCells()
+	a := Sweep(cells, 4)
+	b := Sweep(cells, 4)
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Metrics, b[i].Metrics) {
+			t.Fatalf("cell %d not repeatable", i)
+		}
+	}
+}
+
+func TestSweepReportsPerCellErrors(t *testing.T) {
+	cells := []Cell{
+		{Algorithm: "bad", Build: newFakeLock,
+			Workload: Workload{Model: memsim.CC, N: 0, Entries: 1}}, // invalid N
+		{Algorithm: "good", Build: newFakeLock,
+			Workload: Workload{Model: memsim.CC, N: 2, Entries: 2, Seed: 1}},
+	}
+	rs := Sweep(cells, 2)
+	if rs[0].Err == nil {
+		t.Fatal("invalid workload must surface its error")
+	}
+	if rs[1].Err != nil {
+		t.Fatalf("good cell poisoned by bad one: %v", rs[1].Err)
+	}
+}
+
+func TestSweepEmptyAndOversizedWorkers(t *testing.T) {
+	if got := Sweep(nil, 8); len(got) != 0 {
+		t.Fatal("empty sweep must return empty results")
+	}
+	cells := sweepCells()[:2]
+	rs := Sweep(cells, 64) // workers > cells
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestRecordCell checks the artifact conversion carries the cell key
+// and the distributional metrics.
+func TestRecordCell(t *testing.T) {
+	cells := sweepCells()[:1]
+	r := Sweep(cells, 1)[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	c := r.Record()
+	if c.Experiment != "TEST" || c.Algorithm != "fake" || c.Model != "CC" || c.N != 2 || c.Seed != 1 {
+		t.Fatalf("bad cell key fields: %+v", c)
+	}
+	if c.Run.RMRPerEntry.Count != int64(c.N*c.Entries) {
+		t.Fatalf("RMR histogram has %d samples, want %d", c.Run.RMRPerEntry.Count, c.N*c.Entries)
+	}
+	if c.Run.TotalRMRs == 0 || c.MeanRMR == 0 {
+		t.Fatalf("empty metrics: %+v", c)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"fetchphi/internal/obs"
 )
 
 // Table is one experiment's output: the rows an evaluation section
@@ -84,6 +86,18 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// JSON converts the table to its benchmark-artifact form.
+func (t *Table) JSON() obs.Table {
+	return obs.Table{
+		ID:      t.ID,
+		Title:   t.Title,
+		Claim:   t.Claim,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
 }
 
 // String renders the table to a string.

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "sample",
+		Claim:   "stays flat",
+		Columns: []string{"N", "primitive", "mean"},
+	}
+	t.AddRow("2", "fetch-and-increment", "12.5")
+	t.AddRow("256", "f&s", "13.0")
+	t.Notes = append(t.Notes, "a note")
+	return t
+}
+
+func TestTableFormatStructure(t *testing.T) {
+	tbl := sampleTable()
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header, claim, columns, rule, 2 rows, note
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "E1 — sample" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "claim: stays flat" {
+		t.Fatalf("claim = %q", lines[1])
+	}
+	// The widest cell in column 2 is "fetch-and-increment": the header
+	// row pads "primitive" to that width, so "mean" starts at the same
+	// offset in header and data rows.
+	colIdx := strings.Index(lines[2], "mean")
+	if colIdx < 0 {
+		t.Fatalf("columns line = %q", lines[2])
+	}
+	if got := strings.Index(lines[4], "12.5"); got != colIdx {
+		t.Fatalf("mean cell at offset %d, header at %d:\n%s", got, colIdx, out)
+	}
+	if !strings.HasPrefix(lines[3], "  --") {
+		t.Fatalf("rule line = %q", lines[3])
+	}
+	if lines[6] != "  note: a note" {
+		t.Fatalf("note = %q", lines[6])
+	}
+	// No trailing spaces on any line (the formatter trims them, so
+	// recorded tables diff cleanly).
+	for i, l := range lines {
+		if l != strings.TrimRight(l, " ") {
+			t.Fatalf("line %d has trailing spaces: %q", i, l)
+		}
+	}
+}
+
+func TestTableFormatOmitsEmptyClaim(t *testing.T) {
+	tbl := sampleTable()
+	tbl.Claim = ""
+	if strings.Contains(tbl.String(), "claim:") {
+		t.Fatal("empty claim must be omitted")
+	}
+}
+
+func TestTableJSONConversion(t *testing.T) {
+	tbl := sampleTable()
+	j := tbl.JSON()
+	if j.ID != tbl.ID || j.Title != tbl.Title || j.Claim != tbl.Claim {
+		t.Fatalf("JSON header fields diverged: %+v", j)
+	}
+	if len(j.Rows) != len(tbl.Rows) || len(j.Columns) != len(tbl.Columns) || len(j.Notes) != 1 {
+		t.Fatalf("JSON shape diverged: %+v", j)
+	}
+}

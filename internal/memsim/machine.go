@@ -126,8 +126,9 @@ type Machine struct {
 	csEntries  int64
 
 	violation error
-	running   *Proc      // process currently between resume and report
-	trace     *traceRing // nil unless EnableTrace was called
+	running   *Proc       // process currently between resume and report
+	trace     *traceRing  // nil unless EnableTrace was called
+	sinks     []EventSink // observers of every shared-memory operation
 }
 
 // NewMachine returns a machine with the given memory model, sized for
@@ -209,11 +210,19 @@ func (m *Machine) varAt(v Var) *variable {
 	return m.vars[v.idx]
 }
 
+// chargeRMR charges one remote memory reference by p against vv, with
+// per-phase attribution.
+func (m *Machine) chargeRMR(p *Proc, vv *variable) {
+	p.stats.RMRs++
+	p.stats.PhaseRMRs[p.phase]++
+	vv.rmrs++
+}
+
 // doRead performs the memory-system side of a read by p and returns
 // the value, charging RMRs per the model.
 func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 	vv := m.varAt(v)
-	if m.trace != nil {
+	if len(m.sinks) > 0 {
 		kind := TraceRead
 		if spinning {
 			kind = TraceSpinRead
@@ -223,16 +232,14 @@ func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 	switch m.model {
 	case DSM:
 		if vv.home != p.id {
-			p.stats.RMRs++
-			vv.rmrs++
+			m.chargeRMR(p, vv)
 			if spinning {
 				p.stats.NonLocalSpinReads++
 			}
 		}
 	case CC, CCUpdate:
 		if !vv.sharers.has(p.id) {
-			p.stats.RMRs++
-			vv.rmrs++
+			m.chargeRMR(p, vv)
 			vv.sharers.add(p.id)
 		}
 	}
@@ -243,7 +250,7 @@ func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 // watching v.
 func (m *Machine) doWrite(p *Proc, v Var, x Word) {
 	vv := m.varAt(v)
-	if m.trace != nil {
+	if len(m.sinks) > 0 {
 		m.record(p, TraceWrite, vv, vv.value, x)
 	}
 	m.chargeWrite(p, vv)
@@ -261,7 +268,7 @@ func (m *Machine) doRMW(p *Proc, v Var, f func(Word) Word) Word {
 	m.chargeWrite(p, vv)
 	old := vv.value
 	vv.value = f(old)
-	if m.trace != nil {
+	if len(m.sinks) > 0 {
 		m.record(p, TraceRMW, vv, old, vv.value)
 	}
 	if varTrace == "*" || (varTrace != "" && vv.name == varTrace) {
@@ -275,13 +282,11 @@ func (m *Machine) chargeWrite(p *Proc, vv *variable) {
 	switch m.model {
 	case DSM:
 		if vv.home != p.id {
-			p.stats.RMRs++
-			vv.rmrs++
+			m.chargeRMR(p, vv)
 		}
 	case CC:
 		if !vv.sharers.hasOnly(p.id) {
-			p.stats.RMRs++
-			vv.rmrs++
+			m.chargeRMR(p, vv)
 			vv.sharers.clear()
 			vv.sharers.add(p.id)
 		}
@@ -293,11 +298,9 @@ func (m *Machine) chargeWrite(p *Proc, vv *variable) {
 			others--
 		}
 		if others > 0 {
-			p.stats.RMRs++
-			vv.rmrs++
+			m.chargeRMR(p, vv)
 		} else if !vv.sharers.has(p.id) {
-			p.stats.RMRs++ // cold miss
-			vv.rmrs++
+			m.chargeRMR(p, vv) // cold miss
 		}
 		vv.sharers.add(p.id)
 	}

@@ -63,6 +63,11 @@ type ProcStats struct {
 	// in an Await (condition false on first evaluation) — a latency
 	// indicator the RMR measure does not capture.
 	AwaitBlocks int64
+	// PhaseRMRs breaks RMRs down by the algorithm phase that incurred
+	// them, indexed by Phase. Phase transitions are driven by
+	// BeginEntrySection/EnterCS/ExitCS/EndExitSection; processes that
+	// never call those charge everything to PhaseNCS.
+	PhaseRMRs [NumPhases]int64
 }
 
 // Proc is one simulated process. All its methods must be called from
@@ -82,6 +87,7 @@ type Proc struct {
 	watchEpoch uint64
 
 	stats        ProcStats
+	phase        Phase
 	rmrAtAcquire int64 // RMR count when the current entry section began
 }
 
@@ -206,6 +212,7 @@ func (p *Proc) EnterCS() {
 	p.m.csOccupant = p.id
 	p.m.csEntries++
 	p.stats.CSEntries++
+	p.phase = PhaseCS
 }
 
 // ExitCS marks exit from the critical section. One scheduling point.
@@ -215,17 +222,28 @@ func (p *Proc) ExitCS() {
 		p.failf("critical-section exit by process %d, but occupant is %d", p.id, p.m.csOccupant)
 	}
 	p.m.csOccupant = -1
+	p.phase = PhaseExit
 }
 
 // BeginEntrySection records the RMR count at the start of an entry
-// section so EndExitSection can attribute a per-entry RMR cost.
-func (p *Proc) BeginEntrySection() { p.rmrAtAcquire = p.stats.RMRs }
+// section so EndExitSection can attribute a per-entry RMR cost, and
+// switches the process's phase to PhaseEntry.
+func (p *Proc) BeginEntrySection() {
+	p.rmrAtAcquire = p.stats.RMRs
+	p.phase = PhaseEntry
+}
 
-// EndExitSection closes the RMR window opened by BeginEntrySection.
-func (p *Proc) EndExitSection() {
-	if gap := p.stats.RMRs - p.rmrAtAcquire; gap > p.stats.MaxRMRGap {
+// EndExitSection closes the RMR window opened by BeginEntrySection and
+// returns this entry's RMR cost (entry + CS + exit sections), so
+// callers can histogram the per-entry distribution rather than keep
+// only the maximum.
+func (p *Proc) EndExitSection() int64 {
+	gap := p.stats.RMRs - p.rmrAtAcquire
+	if gap > p.stats.MaxRMRGap {
 		p.stats.MaxRMRGap = gap
 	}
+	p.phase = PhaseNCS
+	return gap
 }
 
 // failf aborts the run with a violation and unwinds this process.

@@ -36,8 +36,8 @@ func (k TraceKind) String() string {
 	}
 }
 
-// TraceEvent is one shared-memory operation, as recorded by the
-// machine's trace ring.
+// TraceEvent is one shared-memory operation, as delivered to the
+// machine's event sinks (and recorded by the built-in trace ring).
 type TraceEvent struct {
 	// Step is the global scheduling step at which the operation ran.
 	Step int64
@@ -45,11 +45,34 @@ type TraceEvent struct {
 	Proc int
 	// Kind is the operation type.
 	Kind TraceKind
+	// Phase is the algorithm phase the acting process was in
+	// (entry/cs/exit, or ncs when the process tracks no phases).
+	Phase Phase
 	// Var is the accessed variable's name.
 	Var string
 	// Before and After are the variable's values around the
 	// operation (equal for reads).
 	Before, After Word
+}
+
+// EventSink observes every shared-memory operation of a run. Sinks are
+// invoked synchronously from the simulated process's scheduling window,
+// so they see a totally ordered event stream and need no locking; they
+// must not call back into the machine. Recording costs no simulated
+// steps or RMRs.
+type EventSink interface {
+	// Record is called once per shared-memory operation.
+	Record(ev TraceEvent)
+}
+
+// AttachSink subscribes a sink to the machine's event stream. Call
+// before Run. Multiple sinks may be attached; each receives every
+// event, in order.
+func (m *Machine) AttachSink(s EventSink) {
+	if s == nil {
+		panic("memsim: AttachSink(nil)")
+	}
+	m.sinks = append(m.sinks, s)
 }
 
 // String renders the event as one log line.
@@ -60,22 +83,44 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("[%06d] p%d %-9s %s: %d -> %d", e.Step, e.Proc, e.Kind, e.Var, e.Before, e.After)
 }
 
-// traceRing is a fixed-capacity ring buffer of the most recent events.
+// traceRing is a fixed-capacity ring buffer of the most recent events —
+// the built-in EventSink behind EnableTrace.
 type traceRing struct {
 	events []TraceEvent
 	next   int
 	filled bool
 }
 
+// Record implements EventSink.
+func (r *traceRing) Record(ev TraceEvent) {
+	r.events[r.next] = ev
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
 // EnableTrace starts recording the machine's last `capacity`
 // shared-memory operations. Call before Run; retrieve with Trace after
 // the run (typically when diagnosing a violation or deadlock). Tracing
-// costs no simulated steps or RMRs.
+// costs no simulated steps or RMRs. Calling EnableTrace again replaces
+// the previous ring; sinks attached with AttachSink are unaffected.
 func (m *Machine) EnableTrace(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
-	m.trace = &traceRing{events: make([]TraceEvent, capacity)}
+	ring := &traceRing{events: make([]TraceEvent, capacity)}
+	if m.trace != nil {
+		for i, s := range m.sinks {
+			if s == EventSink(m.trace) {
+				m.sinks[i] = ring
+			}
+		}
+	} else {
+		m.sinks = append(m.sinks, ring)
+	}
+	m.trace = ring
 }
 
 // Trace returns the recorded events, oldest first. It returns nil if
@@ -110,20 +155,18 @@ func (m *Machine) FormatTrace() string {
 	return b.String()
 }
 
-// record appends one event to the ring.
+// record delivers one event to every attached sink.
 func (m *Machine) record(p *Proc, kind TraceKind, vv *variable, before, after Word) {
-	r := m.trace
-	r.events[r.next] = TraceEvent{
+	ev := TraceEvent{
 		Step:   m.steps,
 		Proc:   p.id,
 		Kind:   kind,
+		Phase:  p.phase,
 		Var:    vv.name,
 		Before: before,
 		After:  after,
 	}
-	r.next++
-	if r.next == len(r.events) {
-		r.next = 0
-		r.filled = true
+	for _, s := range m.sinks {
+		s.Record(ev)
 	}
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleArtifact builds a small but fully populated artifact.
+func sampleArtifact() *Artifact {
+	mkHist := func(vals ...int64) Histogram {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	mkCell := func(alg, model string, n int, seed int64, worst int64, mean float64, spins int64) Cell {
+		return Cell{
+			Experiment: "E1", Algorithm: alg, Model: model, N: n, Entries: 4, Seed: seed,
+			MeanRMR: mean, WorstRMR: worst, NonLocalSpins: spins, MaxBypass: 3, Steps: 1234,
+			Run: RunMetrics{
+				Entries: 4 * int64(n), TotalRMRs: int64(mean * 4 * float64(n)),
+				PhaseRMRs:   map[string]int64{"entry": 40, "exit": 10},
+				RMRPerEntry: mkHist(10, 12, 14, worst),
+			},
+		}
+	}
+	return &Artifact{
+		Schema:     Schema,
+		Experiment: "E1",
+		CreatedBy:  "test",
+		Commit:     "deadbeef",
+		Params:     Params{Quick: true, Seed: 1, Workers: 4},
+		Cells: []Cell{
+			mkCell("g-cc/f&i", "CC", 8, 1, 17, 12.5, 0),
+			mkCell("g-cc/f&s", "CC", 8, 1, 19, 13.0, 0),
+			mkCell("g-cc/f&i", "CC", 32, 1, 18, 12.8, 0),
+		},
+		Tables: []Table{{
+			ID: "E1", Title: "t", Columns: []string{"N", "mean"},
+			Rows: [][]string{{"8", "12.5"}}, Notes: []string{"note"},
+		}},
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ArtifactName("E1"))
+	a := sampleArtifact()
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", a, got)
+	}
+	// Round-tripped artifacts must gate clean against themselves.
+	if regs := Compare(a, got, nil); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+}
+
+func TestArtifactWriteCreatesDirsAndSorts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifacts", "nested", ArtifactName("E1"))
+	a := sampleArtifact()
+	// Shuffle the canonical order; WriteFile must restore it.
+	a.Cells[0], a.Cells[2] = a.Cells[2], a.Cells[0]
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.Cells); i++ {
+		if got.Cells[i-1].Key() >= got.Cells[i].Key() {
+			t.Fatalf("cells not in canonical order: %q ≥ %q", got.Cells[i-1].Key(), got.Cells[i].Key())
+		}
+	}
+}
+
+func TestReadArtifactRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	a := sampleArtifact()
+	a.Schema = "something/else"
+	// Bypass WriteFile's schema defaulting by writing the raw form.
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("expected schema error, got %v", err)
+	}
+}
+
+func TestCellKeyUniquenessAcrossDims(t *testing.T) {
+	a := sampleArtifact()
+	seen := map[string]bool{}
+	for _, c := range a.Cells {
+		if seen[c.Key()] {
+			t.Fatalf("duplicate key %q", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import "fmt"
+
+// Thresholds bounds how much a metric may degrade relative to a
+// baseline artifact before the gate fails. Each bound has a ratio and
+// an absolute slack: current ≤ baseline·Ratio + Slack. The slack
+// absorbs scheduler noise on small absolute values (a worst-RMR of 3
+// jumping to 4 is noise; 300 to 400 is not).
+type Thresholds struct {
+	// WorstRMRRatio / WorstRMRSlack bound the worst per-entry RMR.
+	WorstRMRRatio float64
+	WorstRMRSlack float64
+	// MeanRMRRatio / MeanRMRSlack bound the mean RMR per entry.
+	MeanRMRRatio float64
+	MeanRMRSlack float64
+	// MaxBypassRatio / MaxBypassSlack bound the fairness metric.
+	MaxBypassRatio float64
+	MaxBypassSlack float64
+	// Skip disables gating for the experiment entirely (used for
+	// probe experiments whose outputs are not monotone metrics).
+	Skip bool
+}
+
+// DefaultThresholds is the gate applied to experiments without a
+// specific override.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		WorstRMRRatio: 1.25, WorstRMRSlack: 2,
+		MeanRMRRatio: 1.20, MeanRMRSlack: 1,
+		MaxBypassRatio: 1.50, MaxBypassSlack: 2,
+	}
+}
+
+// ThresholdsFor returns the per-experiment regression thresholds.
+// E8a probes for seeds that break a deliberately broken algorithm
+// (its "metric" is a found counterexample, not a cost), and E9 is
+// wall-clock, so neither is gated. E7 measures adversarial-scheduler
+// bypass, which is deliberately unbounded for the unfair locks it
+// includes — bypass gating there would flag noise, so only its RMR
+// metrics are held.
+func ThresholdsFor(experiment string) Thresholds {
+	th := DefaultThresholds()
+	switch experiment {
+	case "E7":
+		th.MaxBypassRatio, th.MaxBypassSlack = 0, 0 // disable bypass bound
+	case "E8a", "E9":
+		th.Skip = true
+	}
+	return th
+}
+
+// Regression is one gate failure: a metric of one cell that degraded
+// past its threshold, or a cell that disappeared.
+type Regression struct {
+	// Experiment and Cell locate the failure.
+	Experiment string
+	Cell       string
+	// Metric names what degraded (worst_rmr, mean_rmr, max_bypass,
+	// non_local_spins, missing_cell).
+	Metric string
+	// Baseline and Current are the compared values; Limit is the
+	// threshold Current had to stay under.
+	Baseline, Current, Limit float64
+}
+
+// String renders the regression as one report line.
+func (r Regression) String() string {
+	if r.Metric == "missing_cell" {
+		return fmt.Sprintf("%s: %s: cell present in baseline but missing from current run", r.Experiment, r.Cell)
+	}
+	return fmt.Sprintf("%s: %s: %s regressed %.2f → %.2f (limit %.2f)",
+		r.Experiment, r.Cell, r.Metric, r.Baseline, r.Current, r.Limit)
+}
+
+// bound applies one ratio+slack threshold; ratio 0 disables the bound.
+func bound(regs []Regression, exp, cell, metric string, baseline, current, ratio, slack float64) []Regression {
+	if ratio == 0 {
+		return regs
+	}
+	limit := baseline*ratio + slack
+	if current > limit {
+		regs = append(regs, Regression{
+			Experiment: exp, Cell: cell, Metric: metric,
+			Baseline: baseline, Current: current, Limit: limit,
+		})
+	}
+	return regs
+}
+
+// Compare gates current against baseline: every non-wall-clock cell of
+// the baseline must still exist and must not degrade past the
+// experiment's thresholds. Non-local spin counts are held to an
+// absolute invariant — a baseline of zero must stay exactly zero (a
+// reintroduced non-local spin is a correctness bug, not a perf
+// regression), and a nonzero baseline must not grow. Cells only in
+// current (new coverage) are not failures. The returned slice is empty
+// iff the gate passes.
+func Compare(baseline, current *Artifact, thresholdsFor func(string) Thresholds) []Regression {
+	if thresholdsFor == nil {
+		thresholdsFor = ThresholdsFor
+	}
+	var regs []Regression
+	curIdx := current.CellIndex()
+	for _, base := range baseline.Cells {
+		if base.WallClock {
+			continue
+		}
+		th := thresholdsFor(base.Experiment)
+		if th.Skip {
+			continue
+		}
+		key := base.Key()
+		cur, ok := curIdx[key]
+		if !ok {
+			regs = append(regs, Regression{Experiment: base.Experiment, Cell: key, Metric: "missing_cell"})
+			continue
+		}
+		regs = bound(regs, base.Experiment, key, "worst_rmr",
+			float64(base.WorstRMR), float64(cur.WorstRMR), th.WorstRMRRatio, th.WorstRMRSlack)
+		regs = bound(regs, base.Experiment, key, "mean_rmr",
+			base.MeanRMR, cur.MeanRMR, th.MeanRMRRatio, th.MeanRMRSlack)
+		regs = bound(regs, base.Experiment, key, "max_bypass",
+			float64(base.MaxBypass), float64(cur.MaxBypass), th.MaxBypassRatio, th.MaxBypassSlack)
+		if cur.NonLocalSpins > base.NonLocalSpins {
+			regs = append(regs, Regression{
+				Experiment: base.Experiment, Cell: key, Metric: "non_local_spins",
+				Baseline: float64(base.NonLocalSpins), Current: float64(cur.NonLocalSpins),
+				Limit: float64(base.NonLocalSpins),
+			})
+		}
+	}
+	return regs
+}

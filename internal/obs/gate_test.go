@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// degrade returns a copy of a with every cell's RMR metrics inflated
+// by factor — the shape of an accidental perf regression.
+func degrade(a *Artifact, factor float64) *Artifact {
+	out := *a
+	out.Cells = make([]Cell, len(a.Cells))
+	copy(out.Cells, a.Cells)
+	for i := range out.Cells {
+		out.Cells[i].WorstRMR = int64(float64(out.Cells[i].WorstRMR) * factor)
+		out.Cells[i].MeanRMR *= factor
+	}
+	return &out
+}
+
+func TestGatePassesOnEqualRuns(t *testing.T) {
+	a := sampleArtifact()
+	if regs := Compare(a, a, nil); len(regs) != 0 {
+		t.Fatalf("identical artifacts must pass, got %v", regs)
+	}
+}
+
+func TestGateCatchesInflatedRMR(t *testing.T) {
+	base := sampleArtifact()
+	bad := degrade(base, 2.0) // 2× is beyond 1.25·x+2 for worst ≥ 9
+	regs := Compare(base, bad, nil)
+	if len(regs) == 0 {
+		t.Fatal("doubled RMRs must fail the gate")
+	}
+	var worst, mean bool
+	for _, r := range regs {
+		switch r.Metric {
+		case "worst_rmr":
+			worst = true
+		case "mean_rmr":
+			mean = true
+		}
+		if !strings.Contains(r.String(), "regressed") {
+			t.Fatalf("unhelpful regression line: %q", r.String())
+		}
+	}
+	if !worst || !mean {
+		t.Fatalf("expected worst_rmr and mean_rmr regressions, got %v", regs)
+	}
+}
+
+func TestGateToleratesNoise(t *testing.T) {
+	base := sampleArtifact()
+	wiggle := degrade(base, 1.05) // within 1.25·x+2
+	if regs := Compare(base, wiggle, nil); len(regs) != 0 {
+		t.Fatalf("5%% wiggle must pass, got %v", regs)
+	}
+}
+
+func TestGateCatchesReintroducedNonLocalSpin(t *testing.T) {
+	base := sampleArtifact()
+	bad := degrade(base, 1.0)
+	bad.Cells[0].NonLocalSpins = 1 // baseline is 0: any non-local spin is a failure
+	regs := Compare(base, bad, nil)
+	if len(regs) != 1 || regs[0].Metric != "non_local_spins" {
+		t.Fatalf("expected exactly one non_local_spins regression, got %v", regs)
+	}
+}
+
+func TestGateCatchesMissingCell(t *testing.T) {
+	base := sampleArtifact()
+	bad := degrade(base, 1.0)
+	bad.Cells = bad.Cells[1:]
+	regs := Compare(base, bad, nil)
+	if len(regs) != 1 || regs[0].Metric != "missing_cell" {
+		t.Fatalf("expected missing_cell regression, got %v", regs)
+	}
+}
+
+func TestGateSkipsWallClockCells(t *testing.T) {
+	base := sampleArtifact()
+	base.Cells[0].WallClock = true
+	bad := degrade(base, 10)
+	for _, r := range Compare(base, bad, nil) {
+		if strings.Contains(r.Cell, base.Cells[0].Key()) {
+			t.Fatalf("wall-clock cell must not be gated: %v", r)
+		}
+	}
+}
+
+func TestGateSkipsConfiguredExperiments(t *testing.T) {
+	base := sampleArtifact()
+	for i := range base.Cells {
+		base.Cells[i].Experiment = "E8a"
+	}
+	bad := degrade(base, 10)
+	if regs := Compare(base, bad, nil); len(regs) != 0 {
+		t.Fatalf("E8a is not gated, got %v", regs)
+	}
+}
+
+func TestGateNewCellsAreNotFailures(t *testing.T) {
+	base := sampleArtifact()
+	cur := degrade(base, 1.0)
+	extra := cur.Cells[0]
+	extra.N = 512
+	cur.Cells = append(cur.Cells, extra)
+	if regs := Compare(base, cur, nil); len(regs) != 0 {
+		t.Fatalf("added coverage must not fail the gate, got %v", regs)
+	}
+}
+
+func TestThresholdsForOverrides(t *testing.T) {
+	if !ThresholdsFor("E8a").Skip || !ThresholdsFor("E9").Skip {
+		t.Fatal("E8a and E9 must be skipped")
+	}
+	if ThresholdsFor("E7").MaxBypassRatio != 0 {
+		t.Fatal("E7 bypass gating must be disabled")
+	}
+	if ThresholdsFor("E1") != DefaultThresholds() {
+		t.Fatal("E1 must use defaults")
+	}
+}

@@ -1,0 +1,137 @@
+// Package obs is the observability subsystem: distributional run
+// metrics (log-bucketed histograms, per-phase RMR breakdowns), the
+// JSON benchmark-artifact schema shared by cmd/report and cmd/rmrbench,
+// and the regression gate that compares artifacts across commits.
+//
+// The package is deliberately stdlib-only and free of simulator
+// dependencies, so artifacts can be produced (and compared) by any
+// layer of the stack.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a log₂-bucketed histogram of non-negative int64
+// samples. Bucket 0 counts exact zeros; bucket i ≥ 1 counts samples in
+// [2^(i-1), 2^i − 1]. The bucket slice grows on demand, so the zero
+// Histogram is ready to use and the JSON form stays compact.
+type Histogram struct {
+	// Count is the number of observed samples.
+	Count int64 `json:"count"`
+	// Sum is the sum of all samples (Mean = Sum/Count).
+	Sum int64 `json:"sum"`
+	// Min and Max are the extreme samples; valid only when Count > 0.
+	Min int64 `json:"min"`
+	Max int64 `json:"max"`
+	// Buckets are the per-bucket counts, lowest bucket first.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the inclusive sample range of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe adds one sample. Negative samples clamp to zero (per-entry
+// metrics are counts; a negative value is a caller bug, not data).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Mean returns the exact sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.Count == 0 {
+		return
+	}
+	for len(h.Buckets) < len(other.Buckets) {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+}
+
+// Quantile returns an upper bound for the q-th quantile (q in [0,1]):
+// the upper edge of the bucket holding the ⌈q·Count⌉-th smallest
+// sample, clamped to Max. Bucketing makes this exact to within a
+// factor of 2 — enough to see distribution shape shifts.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			_, hi := BucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50≤%d p99≤%d max=%d",
+		h.Count, h.Mean(), h.Min, h.Quantile(0.5), h.Quantile(0.99), h.Max)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import "testing"
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100} {
+		h.Observe(v)
+	}
+	// Expected: bucket 0:{0}=1, 1:{1}=1, 2:{2,3}=2, 3:{4..7}=2, 4:{8..15}=1, 7:{64..127}=1
+	want := []int64{1, 1, 2, 2, 1, 0, 0, 1}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("got %d buckets %v, want %d", len(h.Buckets), h.Buckets, len(want))
+	}
+	for i, c := range want {
+		if h.Buckets[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.Buckets[i], c, h.Buckets)
+		}
+	}
+	if h.Count != 8 || h.Sum != 125 || h.Min != 0 || h.Max != 100 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count, h.Sum, h.Min, h.Max)
+	}
+	if got := h.Mean(); got != 125.0/8 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 4, 7}, {4, 8, 15},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("BucketBounds(%d) = [%d,%d], want [%d,%d]", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Every sample must land inside its own bucket's bounds.
+	for v := int64(0); v < 1000; v++ {
+		lo, hi := BucketBounds(bucketOf(v))
+		if v < lo || v > hi {
+			t.Fatalf("sample %d outside bucket bounds [%d,%d]", v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	// Quantile is an upper bound within a factor of 2, clamped to Max.
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %d, want 100 (clamped to max)", q)
+	}
+	if q := h.Quantile(0.5); q < 50 || q > 100 {
+		t.Fatalf("p50 = %d, want within [50,100]", q)
+	}
+	if q := h.Quantile(0); q < 1 || q > 1 {
+		t.Fatalf("p0 = %d, want 1", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := int64(0); v < 50; v++ {
+		a.Observe(v)
+		all.Observe(v)
+	}
+	for v := int64(50); v < 300; v += 7 {
+		b.Observe(v)
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count != all.Count || a.Sum != all.Sum || a.Min != all.Min || a.Max != all.Max {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, all)
+	}
+	for i := range all.Buckets {
+		if a.Buckets[i] != all.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, direct %d", i, a.Buckets[i], all.Buckets[i])
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count
+	a.Merge(&Histogram{})
+	if a.Count != before {
+		t.Fatal("merging empty histogram changed count")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min != 0 || h.Max != 0 || h.Buckets[0] != 1 {
+		t.Fatalf("negative sample not clamped: %+v", h)
+	}
+}

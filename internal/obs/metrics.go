@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunMetrics is the distributional summary of one simulated run — what
+// replaces a scalar mean/worst pair. The histograms are per
+// critical-section entry, so shape changes (a fat tail appearing, a
+// bimodal split) survive aggregation; PhaseRMRs attributes the total
+// to entry/cs/exit/ncs phases.
+type RunMetrics struct {
+	// Entries is the total number of critical-section entries.
+	Entries int64 `json:"entries"`
+	// TotalRMRs is the run's total remote-memory-reference count.
+	TotalRMRs int64 `json:"total_rmrs"`
+	// PhaseRMRs breaks TotalRMRs down by algorithm phase, keyed by
+	// the memsim phase names (entry, cs, exit, ncs). Zero phases are
+	// omitted.
+	PhaseRMRs map[string]int64 `json:"phase_rmrs,omitempty"`
+	// RMRPerEntry is the distribution of RMR cost per entry/exit pair.
+	RMRPerEntry Histogram `json:"rmr_per_entry"`
+	// WaitsPerEntry is the distribution of await blocks per entry — a
+	// latency proxy the RMR measure does not capture.
+	WaitsPerEntry Histogram `json:"waits_per_entry"`
+	// BypassPerEntry is the distribution of how many other processes
+	// entered the CS while the observing process was in its entry
+	// section (fairness).
+	BypassPerEntry Histogram `json:"bypass_per_entry"`
+}
+
+// MeanRMR returns total RMRs divided by entries.
+func (r *RunMetrics) MeanRMR() float64 {
+	if r.Entries == 0 {
+		return 0
+	}
+	return float64(r.TotalRMRs) / float64(r.Entries)
+}
+
+// PhaseShare returns phase's fraction of the total RMRs.
+func (r *RunMetrics) PhaseShare(phase string) float64 {
+	if r.TotalRMRs == 0 {
+		return 0
+	}
+	return float64(r.PhaseRMRs[phase]) / float64(r.TotalRMRs)
+}
+
+// String renders a multi-line human summary.
+func (r *RunMetrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entries=%d totalRMRs=%d meanRMR=%.1f\n", r.Entries, r.TotalRMRs, r.MeanRMR())
+	if len(r.PhaseRMRs) > 0 {
+		phases := make([]string, 0, len(r.PhaseRMRs))
+		for ph := range r.PhaseRMRs {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		parts := make([]string, len(phases))
+		for i, ph := range phases {
+			parts[i] = fmt.Sprintf("%s=%d", ph, r.PhaseRMRs[ph])
+		}
+		fmt.Fprintf(&b, "phase RMRs: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, "RMR/entry:    %s\n", r.RMRPerEntry.String())
+	fmt.Fprintf(&b, "waits/entry:  %s\n", r.WaitsPerEntry.String())
+	fmt.Fprintf(&b, "bypass/entry: %s", r.BypassPerEntry.String())
+	return b.String()
+}
