@@ -1,13 +1,21 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench report gate clean
+.PHONY: ci lint vet fetchphilint build test race bench report baseline gate clean
 
-# ci is the full tier-1 pipeline: static checks, build, tests, and the
-# race detector over the native (real-goroutine) locks.
-ci: vet build test race
+# ci is the full tier-1 pipeline: static checks (vet + the repo's own
+# analysis suite), build, tests, and the race detector over the
+# genuinely concurrent packages.
+ci: lint build test race
+
+# lint runs go vet plus cmd/fetchphilint, the custom static-analysis
+# suite (awaitwatch, memsimpurity, determinism, phasebalance).
+lint: vet fetchphilint
 
 vet:
 	$(GO) vet ./...
+
+fetchphilint:
+	$(GO) run ./cmd/fetchphilint ./...
 
 build:
 	$(GO) build ./...
@@ -15,21 +23,30 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers the packages that use real goroutines: the native spin
+# locks, the parallel sweep engine in harness, and the obs artifact
+# layer it records into.
 race:
-	$(GO) test -race ./internal/nativelock/...
+	$(GO) test -race ./internal/nativelock/... ./internal/harness/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # report runs every experiment through the parallel sweep engine and
-# writes BENCH_<experiment>.json artifacts into bench/.
+# writes BENCH_<experiment>.json artifacts into bench/current.
 report:
-	$(GO) run ./cmd/report -quick -out bench
+	$(GO) run ./cmd/report -quick -out bench/current
+
+# baseline regenerates the checked-in gate baseline. Run it (and commit
+# the result) only after a deliberate performance change.
+baseline:
+	$(GO) run ./cmd/report -quick -out bench/baseline
 
 # gate re-runs the experiments and fails on any RMR regression against
-# the artifacts in bench/ (produce them first with `make report`).
+# the checked-in artifacts in bench/baseline — works out of the box on
+# a fresh clone.
 gate:
-	$(GO) run ./cmd/report -quick -out bench/current -baseline bench
+	$(GO) run ./cmd/report -quick -out bench/current -baseline bench/baseline
 
 clean:
 	rm -rf bench/current

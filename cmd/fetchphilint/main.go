@@ -1,0 +1,188 @@
+// Command fetchphilint runs the repository's static-analysis suite
+// (internal/lint) over the module: the four analyzers that enforce
+// the simulation discipline behind every RMR claim — awaitwatch,
+// memsimpurity, determinism, and phasebalance. It is the third leg of
+// `make lint`, next to go vet and the analyzers' own corpora tests.
+//
+// Usage:
+//
+//	fetchphilint [-list] [-v] [packages...]
+//
+// With no arguments (or "./...") it checks every package in the
+// module; otherwise the arguments are module-relative package
+// directories (e.g. internal/core cmd/report). Diagnostics print in
+// go-vet format; the exit status is 1 when any are found, 2 on usage
+// or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fetchphi/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("fetchphilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "print the analyzers and exit")
+		verbose = fs.Bool("v", false, "print every package checked")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "fetchphilint: cannot find go.mod above the working directory: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "fetchphilint: %v\n", err)
+		return 2
+	}
+
+	rels, err := selectPackages(root, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "fetchphilint: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, rel := range rels {
+		pkg, err := loader.Load(loader.Module + "/" + rel)
+		if err != nil {
+			fmt.Fprintf(stderr, "fetchphilint: %v\n", err)
+			return 2
+		}
+		count := 0
+		report := func(ds []lint.Diagnostic) {
+			for _, d := range ds {
+				d.Pos.Filename = relativize(root, d.Pos.Filename)
+				fmt.Fprintln(stdout, d)
+				count++
+			}
+		}
+		report(lint.CheckDirectives(pkg))
+		for _, a := range analyzers {
+			if !a.AppliesTo(rel) {
+				continue
+			}
+			report(lint.Check(a, pkg))
+		}
+		if count > 0 {
+			exit = 1
+		}
+		if *verbose {
+			fmt.Fprintf(stdout, "# %s: %d diagnostics\n", rel, count)
+		}
+	}
+	return exit
+}
+
+// selectPackages resolves the argument list to sorted module-relative
+// package directories. No arguments (or "./...") means every package
+// in the module.
+func selectPackages(root string, args []string) ([]string, error) {
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		return modulePackages(root)
+	}
+	var rels []string
+	for _, arg := range args {
+		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(arg, "./")))
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("no such package directory: %s", arg)
+		}
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// modulePackages walks the module for directories containing non-test
+// Go files, skipping testdata, artifacts, and VCS internals.
+func modulePackages(root string) ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "bench" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+				!strings.HasPrefix(n, "_") && !strings.HasPrefix(n, ".") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel != "." { // the root itself holds only test files
+					rels = append(rels, filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// relativize shortens diagnostic paths when they sit under the module
+// root.
+func relativize(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// moduleRoot walks up from the working directory to the first go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -9,6 +9,11 @@
 //	report [-experiments all|E1,E2,...] [-quick] [-seed N] [-workers W]
 //	       [-out dir] [-baseline dir] [-degrade F] [-v]
 //
+// The simulation experiments run concurrently (each one shards its
+// cells across its own sweep-engine pool); wall-clock experiments
+// (E9) run afterwards, sequentially, so simulation load does not
+// pollute their timings.
+//
 // The -degrade flag is a self-test knob: it inflates the recorded RMR
 // metrics by the given factor before artifacts are written, so CI can
 // verify the regression gate actually fires (run once to produce a
@@ -20,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -49,113 +55,151 @@ func gitCommit() string {
 }
 
 func main() {
-	var (
-		which    = flag.String("experiments", "all", "comma-separated experiment ids (E1..E9) or 'all'")
-		quick    = flag.Bool("quick", false, "trim the sweeps (small N only)")
-		seed     = flag.Int64("seed", 1, "scheduler seed family")
-		workers  = flag.Int("workers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")
-		out      = flag.String("out", "bench", "directory to write BENCH_<experiment>.json artifacts into")
-		baseline = flag.String("baseline", "", "directory of prior artifacts to gate against (empty = no gate)")
-		degrade  = flag.Float64("degrade", 1, "self-test: inflate recorded RMR metrics by this factor")
-		verbose  = flag.Bool("v", false, "print the rendered tables")
-	)
-	flag.Parse()
-	if *degrade <= 0 {
-		fmt.Fprintln(os.Stderr, "report: -degrade must be positive")
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	registry := experiments.Registry()
+// selectExperiments resolves the -experiments flag value against the
+// registry: "all" (case-insensitive) selects everything, otherwise a
+// comma-separated list of ids.
+func selectExperiments(which string, registry []experiments.Experiment) (map[string]bool, error) {
 	selected := make(map[string]bool)
-	if strings.EqualFold(*which, "all") {
+	if strings.EqualFold(which, "all") {
 		for _, e := range registry {
 			selected[e.ID] = true
 		}
-	} else {
-		known := make(map[string]string)
-		for _, e := range registry {
-			known[strings.ToLower(e.ID)] = e.ID
+		return selected, nil
+	}
+	known := make(map[string]string)
+	for _, e := range registry {
+		known[strings.ToLower(e.ID)] = e.ID
+	}
+	for _, tok := range strings.Split(which, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
 		}
-		for _, tok := range strings.Split(*which, ",") {
-			tok = strings.TrimSpace(tok)
-			if tok == "" {
-				continue
-			}
-			id, ok := known[strings.ToLower(tok)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "report: unknown experiment %q (want E1..E9 or all)\n", tok)
-				os.Exit(2)
-			}
-			selected[id] = true
+		id, ok := known[strings.ToLower(tok)]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (want E1..E9 or all)", tok)
 		}
-		if len(selected) == 0 {
-			fmt.Fprintln(os.Stderr, "report: no experiments selected")
-			os.Exit(2)
+		selected[id] = true
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("no experiments selected")
+	}
+	return selected, nil
+}
+
+// run is the testable entry point: parses argv, executes, and returns
+// the process exit code (0 ok, 1 failure/regression, 2 usage error).
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		which    = fs.String("experiments", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		quick    = fs.Bool("quick", false, "trim the sweeps (small N only)")
+		seed     = fs.Int64("seed", 1, "scheduler seed family")
+		workers  = fs.Int("workers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")
+		out      = fs.String("out", "bench", "directory to write BENCH_<experiment>.json artifacts into")
+		baseline = fs.String("baseline", "", "directory of prior artifacts to gate against (empty = no gate)")
+		degrade  = fs.Float64("degrade", 1, "self-test: inflate recorded RMR metrics by this factor")
+		verbose  = fs.Bool("v", false, "print the rendered tables")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *degrade <= 0 {
+		fmt.Fprintln(stderr, "report: -degrade must be positive")
+		return 2
+	}
+
+	registry := experiments.Registry()
+	selected, err := selectExperiments(*which, registry)
+	if err != nil {
+		fmt.Fprintf(stderr, "report: %v\n", err)
+		return 2
+	}
+	if *baseline != "" {
+		if st, err := os.Stat(*baseline); err != nil || !st.IsDir() {
+			fmt.Fprintf(stderr, "report: baseline directory %s does not exist (produce one with -out %s first)\n",
+				*baseline, *baseline)
+			return 2
 		}
 	}
 
 	commit := gitCommit()
 	params := obs.Params{Quick: *quick, Seed: *seed, Workers: *workers}
+	var mu sync.Mutex
+	runOne := func(e experiments.Experiment) expRun {
+		run := expRun{id: e.ID}
+		art := &obs.Artifact{
+			Experiment: e.ID,
+			CreatedBy:  "cmd/report",
+			Commit:     commit,
+			Params:     params,
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					run.err = fmt.Errorf("%v", r)
+				}
+			}()
+			opts := experiments.Opts{
+				Quick: *quick, Seed: *seed, Workers: *workers,
+				Record: func(c obs.Cell) { art.Cells = append(art.Cells, c) },
+			}
+			tables := e.Build(opts)
+			for i := range tables {
+				art.Tables = append(art.Tables, tables[i].JSON())
+			}
+			if *verbose {
+				mu.Lock()
+				for i := range tables {
+					tables[i].Format(stdout)
+					fmt.Fprintln(stdout)
+				}
+				mu.Unlock()
+			}
+		}()
+		run.artifact = art
+		return run
+	}
 
-	// Run the selected experiments concurrently, one goroutine per
+	// The simulation experiments run concurrently, one goroutine per
 	// experiment; within each, the sweep engine shards cells across its
 	// own worker pool. Record hooks are per-experiment closures, called
 	// sequentially from that experiment's goroutine, so no locking is
-	// needed around the cell slices.
+	// needed around the cell slices. Wall-clock experiments (E9) wait
+	// until the simulations are done, then run one at a time: their
+	// ns/op numbers are only meaningful on an otherwise idle machine.
 	runs := make([]expRun, 0, len(selected))
-	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, e := range registry {
-		if !selected[e.ID] {
+		if !selected[e.ID] || e.WallClock {
 			continue
 		}
 		e := e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			run := expRun{id: e.ID}
-			art := &obs.Artifact{
-				Experiment: e.ID,
-				CreatedBy:  "cmd/report",
-				Commit:     commit,
-				Params:     params,
-			}
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						run.err = fmt.Errorf("%v", r)
-					}
-				}()
-				opts := experiments.Opts{
-					Quick: *quick, Seed: *seed, Workers: *workers,
-					Record: func(c obs.Cell) { art.Cells = append(art.Cells, c) },
-				}
-				tables := e.Build(opts)
-				for i := range tables {
-					art.Tables = append(art.Tables, tables[i].JSON())
-				}
-				if *verbose {
-					mu.Lock()
-					for i := range tables {
-						tables[i].Format(os.Stdout)
-						fmt.Println()
-					}
-					mu.Unlock()
-				}
-			}()
-			run.artifact = art
+			run := runOne(e)
 			mu.Lock()
 			runs = append(runs, run)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
+	for _, e := range registry {
+		if selected[e.ID] && e.WallClock {
+			runs = append(runs, runOne(e))
+		}
+	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
 
 	failed := false
 	for _, r := range runs {
 		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "report: %s FAILED: %v\n", r.id, r.err)
+			fmt.Fprintf(stderr, "report: %s FAILED: %v\n", r.id, r.err)
 			failed = true
 		}
 	}
@@ -182,11 +226,11 @@ func main() {
 		}
 		path := filepath.Join(*out, obs.ArtifactName(r.id))
 		if err := r.artifact.WriteFile(path); err != nil {
-			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			fmt.Fprintf(stderr, "report: %v\n", err)
 			failed = true
 			continue
 		}
-		fmt.Printf("%s: %d cells, %d tables -> %s\n",
+		fmt.Fprintf(stdout, "%s: %d cells, %d tables -> %s\n",
 			r.id, len(r.artifact.Cells), len(r.artifact.Tables), path)
 	}
 
@@ -200,27 +244,28 @@ func main() {
 			base, err := obs.ReadArtifact(basePath)
 			if err != nil {
 				if errors.Is(err, os.ErrNotExist) {
-					fmt.Printf("%s: no baseline at %s (skipping gate)\n", r.id, basePath)
+					fmt.Fprintf(stdout, "%s: no baseline at %s (skipping gate)\n", r.id, basePath)
 					continue
 				}
-				fmt.Fprintf(os.Stderr, "report: %v\n", err)
+				fmt.Fprintf(stderr, "report: %v\n", err)
 				failed = true
 				continue
 			}
 			regressions = append(regressions, obs.Compare(base, r.artifact, nil)...)
 		}
 		if len(regressions) > 0 {
-			fmt.Fprintf(os.Stderr, "\nregression gate FAILED (%d):\n", len(regressions))
+			fmt.Fprintf(stderr, "\nregression gate FAILED (%d):\n", len(regressions))
 			for _, reg := range regressions {
-				fmt.Fprintf(os.Stderr, "  %s\n", reg)
+				fmt.Fprintf(stderr, "  %s\n", reg)
 			}
 			failed = true
 		} else if !failed {
-			fmt.Println("regression gate passed")
+			fmt.Fprintln(stdout, "regression gate passed")
 		}
 	}
 
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

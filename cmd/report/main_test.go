@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetchphi/internal/experiments"
+	"fetchphi/internal/obs"
+)
+
+// TestSelectExperiments covers the -experiments subset parsing:
+// "all", case-insensitive ids, whitespace, unknown ids, and the empty
+// selection.
+func TestSelectExperiments(t *testing.T) {
+	registry := experiments.Registry()
+
+	all, err := selectExperiments("all", registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(registry) {
+		t.Fatalf("all selected %d experiments, want %d", len(all), len(registry))
+	}
+
+	subset, err := selectExperiments(" e1 ,E9", registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || !subset["E1"] || !subset["E9"] {
+		t.Fatalf("subset = %v, want {E1, E9}", subset)
+	}
+
+	if _, err := selectExperiments("E1,nope", registry); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error does not name the bad id: %v", err)
+	}
+
+	if _, err := selectExperiments(" , ,", registry); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+// runArgs invokes the testable entry point, returning the exit code
+// and combined output streams.
+func runArgs(args ...string) (code int, stdout, stderr string) {
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestRunUsageErrors checks the exit-code contract for the flag
+// errors CI scripts depend on: all of these must fail fast (exit 2)
+// without running any experiment.
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"zero degrade", []string{"-degrade", "0"}, "-degrade must be positive"},
+		{"negative degrade", []string{"-degrade", "-2"}, "-degrade must be positive"},
+		{"unknown experiment", []string{"-experiments", "E42"}, "unknown experiment"},
+		{"empty experiments", []string{"-experiments", ","}, "no experiments selected"},
+		{"missing baseline dir", []string{"-baseline", filepath.Join(t.TempDir(), "absent")}, "does not exist"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runArgs(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunBaselineFileNotDir: -baseline pointing at a file (not a
+// directory) is the same usage error as a missing directory.
+func TestRunBaselineFileNotDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runArgs("-baseline", file)
+	if code != 2 || !strings.Contains(stderr, "does not exist") {
+		t.Fatalf("exit = %d, stderr = %q; want 2 / missing-baseline error", code, stderr)
+	}
+}
+
+// TestRunWritesArtifact runs the cheapest real experiment end to end
+// and checks the artifact lands where -out points, with the wall-clock
+// marker and schema intact (E9 also exercises the sequenced-last path:
+// a selection with no simulation experiments must still work).
+func TestRunWritesArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	dir := t.TempDir()
+	code, stdout, stderr := runArgs("-experiments", "E9", "-quick", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "E9:") {
+		t.Fatalf("stdout has no E9 summary: %q", stdout)
+	}
+	art, err := obs.ReadArtifact(filepath.Join(dir, obs.ArtifactName("E9")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) == 0 {
+		t.Fatal("E9 artifact has no cells")
+	}
+	for _, c := range art.Cells {
+		if !c.WallClock {
+			t.Fatalf("E9 cell %s not marked wall-clock", c.Key())
+		}
+	}
+}
+
+// TestRegistryMarksOnlyE9WallClock pins the wall-clock partition the
+// report sequencing depends on.
+func TestRegistryMarksOnlyE9WallClock(t *testing.T) {
+	for _, e := range experiments.Registry() {
+		if e.WallClock != (e.ID == "E9") {
+			t.Fatalf("experiment %s WallClock = %v", e.ID, e.WallClock)
+		}
+	}
+}

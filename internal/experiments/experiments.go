@@ -79,25 +79,30 @@ func (o Opts) run(experiment, alg string, b harness.Builder, w harness.Workload)
 	return o.sweep([]harness.Cell{{Experiment: experiment, Algorithm: alg, Build: b, Workload: w}})[0]
 }
 
+// Experiment is one registry entry: an experiment id and its table
+// builder. WallClock marks time-based experiments (E9), which are
+// nondeterministic by design: the regression gate skips their cells,
+// and cmd/report sequences them after the simulations so concurrent
+// simulation load does not pollute their timings.
+type Experiment struct {
+	ID        string
+	WallClock bool
+	Build     func(Opts) []harness.Table
+}
+
 // Registry returns the experiment builders keyed by id, in report
 // order.
-func Registry() []struct {
-	ID    string
-	Build func(Opts) []harness.Table
-} {
-	return []struct {
-		ID    string
-		Build func(Opts) []harness.Table
-	}{
-		{"E1", func(o Opts) []harness.Table { return []harness.Table{E1GCC(o)} }},
-		{"E2", func(o Opts) []harness.Table { return []harness.Table{E2GDSM(o)} }},
-		{"E3", func(o Opts) []harness.Table { return []harness.Table{E3Tree(o)} }},
-		{"E4", func(o Opts) []harness.Table { return []harness.Table{E4AlgT(o)} }},
-		{"E5", func(o Opts) []harness.Table { return []harness.Table{E5Ranks(o)} }},
-		{"E6", func(o Opts) []harness.Table { return []harness.Table{E6Baselines(o)} }},
-		{"E7", func(o Opts) []harness.Table { return []harness.Table{E7Fairness(o)} }},
-		{"E8", E8Ablations},
-		{"E9", func(o Opts) []harness.Table { return []harness.Table{E9Native(o)} }},
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "E1", Build: func(o Opts) []harness.Table { return []harness.Table{E1GCC(o)} }},
+		{ID: "E2", Build: func(o Opts) []harness.Table { return []harness.Table{E2GDSM(o)} }},
+		{ID: "E3", Build: func(o Opts) []harness.Table { return []harness.Table{E3Tree(o)} }},
+		{ID: "E4", Build: func(o Opts) []harness.Table { return []harness.Table{E4AlgT(o)} }},
+		{ID: "E5", Build: func(o Opts) []harness.Table { return []harness.Table{E5Ranks(o)} }},
+		{ID: "E6", Build: func(o Opts) []harness.Table { return []harness.Table{E6Baselines(o)} }},
+		{ID: "E7", Build: func(o Opts) []harness.Table { return []harness.Table{E7Fairness(o)} }},
+		{ID: "E8", Build: E8Ablations},
+		{ID: "E9", WallClock: true, Build: func(o Opts) []harness.Table { return []harness.Table{E9Native(o)} }},
 	}
 }
 

@@ -75,6 +75,7 @@ func E9Native(o Opts) harness.Table {
 		var counter int
 		body := func() { counter++ }
 		var wg sync.WaitGroup
+		//fetchphilint:ignore determinism E9 is the one wall-clock experiment; its cells are WallClock and gate-exempt
 		start := time.Now()
 		for w := 0; w < workers; w++ {
 			w := w
@@ -87,6 +88,7 @@ func E9Native(o Opts) harness.Table {
 			}()
 		}
 		wg.Wait()
+		//fetchphilint:ignore determinism E9 is the one wall-clock experiment; its cells are WallClock and gate-exempt
 		elapsed := time.Since(start)
 		total := workers * iters
 		if counter != total {

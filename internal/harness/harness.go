@@ -78,7 +78,14 @@ type Metrics struct {
 	// per-entry histograms of RMR cost, await blocks, and bypass, and
 	// the per-phase RMR breakdown.
 	Obs obs.RunMetrics
+	// Hotspots are the run's top-HotspotTopK shared variables by
+	// attracted RMRs (the cmd/hotspots attribution, recorded into
+	// benchmark artifacts).
+	Hotspots []obs.HotVar
 }
+
+// HotspotTopK is how many hot variables a run records into its cell.
+const HotspotTopK = 5
 
 // Run executes one workload and returns its metrics. The run fails
 // (non-nil error) on a mutual exclusion violation, deadlock, livelock
@@ -146,6 +153,9 @@ func Run(b Builder, w Workload) (Metrics, error) {
 		MeanRMR:       res.MeanRMRPerEntry(),
 		WorstRMR:      res.MaxRMRPerEntry(),
 		NonLocalSpins: res.NonLocalSpinReads(),
+	}
+	for _, v := range m.HotVars(HotspotTopK) {
+		met.Hotspots = append(met.Hotspots, obs.HotVar{Name: v.Name, RMRs: v.RMRs})
 	}
 	met.Obs = obs.RunMetrics{
 		Entries:   res.CSEntries,

@@ -49,6 +49,7 @@ func (r CellResult) Record() obs.Cell {
 		NonLocalSpins: r.Metrics.NonLocalSpins,
 		MaxBypass:     r.Metrics.MaxBypass,
 		Steps:         r.Metrics.Result.Steps,
+		Hotspots:      r.Metrics.Hotspots,
 		Run:           r.Metrics.Obs,
 	}
 }

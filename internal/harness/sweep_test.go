@@ -112,3 +112,34 @@ func TestRecordCell(t *testing.T) {
 		t.Fatalf("empty metrics: %+v", c)
 	}
 }
+
+// TestCellRecordsHotspots: every successful cell surfaces its top-k
+// per-variable RMR attribution (the cmd/hotspots view) in the
+// benchmark-artifact form, ranked descending.
+func TestCellRecordsHotspots(t *testing.T) {
+	for _, r := range Sweep(sweepCells(), 4) {
+		if r.Err != nil {
+			t.Fatalf("cell failed: %v", r.Err)
+		}
+		cell := r.Record()
+		if len(cell.Hotspots) == 0 {
+			t.Fatalf("cell %s recorded no hotspots", cell.Key())
+		}
+		if len(cell.Hotspots) > HotspotTopK {
+			t.Fatalf("cell %s recorded %d hotspots, cap is %d", cell.Key(), len(cell.Hotspots), HotspotTopK)
+		}
+		var total int64
+		for i, h := range cell.Hotspots {
+			if h.Name == "" || h.RMRs <= 0 {
+				t.Fatalf("cell %s hotspot %d malformed: %+v", cell.Key(), i, h)
+			}
+			if i > 0 && h.RMRs > cell.Hotspots[i-1].RMRs {
+				t.Fatalf("cell %s hotspots not sorted: %+v", cell.Key(), cell.Hotspots)
+			}
+			total += h.RMRs
+		}
+		if total > cell.Run.TotalRMRs {
+			t.Fatalf("cell %s hotspot RMRs (%d) exceed the run total (%d)", cell.Key(), total, cell.Run.TotalRMRs)
+		}
+	}
+}

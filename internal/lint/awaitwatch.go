@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AwaitWatch checks the contract of memsim's Await: the watch-var
+// list must exactly cover the Vars the condition closure reads, or
+// wake-ups can be missed (unwatched read) and spurious re-checks
+// charged (watched-but-unread var). The closure itself must be a
+// func literal that touches simulated memory only through the
+// injected read func — a p.Read/p.Write/p.FetchPhi inside the
+// condition would take extra scheduling points and corrupt the spin
+// accounting, and a nested Await deadlocks the engine.
+var AwaitWatch = &Analyzer{
+	Name: "awaitwatch",
+	Doc: "Await watch lists must exactly cover the condition's reads, " +
+		"and conditions may only use the injected read func",
+	Run: runAwaitWatch,
+}
+
+func runAwaitWatch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := procMethod(pass.Info, call); !ok || name != "Await" {
+				return true
+			}
+			checkAwait(pass, call)
+			return true
+		})
+	}
+}
+
+func checkAwait(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return // not well-formed; the compiler already rejects it
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Pos(),
+			"Await with a spread watch list cannot be verified; pass the watched Vars explicitly")
+		return
+	}
+	cond, ok := call.Args[0].(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"Await condition must be a func literal so its watch set can be checked statically")
+		return
+	}
+
+	// The watch set, keyed by normalized expression text.
+	watch := make(map[string]ast.Expr)
+	for _, w := range call.Args[1:] {
+		key := types.ExprString(w)
+		if _, dup := watch[key]; dup {
+			pass.Reportf(w.Pos(), "duplicate watch variable %s", key)
+			continue
+		}
+		watch[key] = w
+	}
+
+	readName := condReadParam(cond)
+	reads := make(map[string]ast.Expr)
+	ast.Inspect(cond.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "Await condition must not define nested closures")
+			return false
+		case *ast.CallExpr:
+			if name, ok := procMethod(pass.Info, n); ok {
+				pass.Reportf(n.Pos(),
+					"Await condition calls (*memsim.Proc).%s; conditions must use only the injected %s func",
+					name, readName)
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == readName && isCondParam(pass, cond, id) {
+				if len(n.Args) == 1 {
+					key := types.ExprString(n.Args[0])
+					if _, seen := reads[key]; !seen {
+						reads[key] = n.Args[0]
+					}
+				}
+				return true
+			}
+		case *ast.Ident:
+			// Any use of the read param other than as a direct callee
+			// (checked above, which skips descending into Fun) defeats
+			// the static read-set analysis.
+			if n.Name == readName && isCondParam(pass, cond, n) && !isDirectCallee(cond.Body, n) {
+				pass.Reportf(n.Pos(),
+					"the injected %s func must only be called directly, not passed around", readName)
+			}
+		}
+		return true
+	})
+
+	var missing, unread []string
+	for key := range reads {
+		if _, ok := watch[key]; !ok {
+			missing = append(missing, key)
+		}
+	}
+	for key := range watch {
+		if _, ok := reads[key]; !ok {
+			unread = append(unread, key)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unread)
+	for _, key := range missing {
+		pass.Reportf(reads[key].Pos(),
+			"Await condition reads %s, which is not in the watch list: a write to it will not wake the waiter", key)
+	}
+	for _, key := range unread {
+		pass.Reportf(watch[key].Pos(),
+			"watched variable %s is never read by the Await condition", key)
+	}
+}
+
+// condReadParam returns the name of the condition closure's read
+// parameter (the canonical `read func(Var) Word`).
+func condReadParam(cond *ast.FuncLit) string {
+	params := cond.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return "read"
+	}
+	return params.List[0].Names[0].Name
+}
+
+// isCondParam reports whether id resolves to the closure's own first
+// parameter (rather than some shadowing declaration).
+func isCondParam(pass *Pass, cond *ast.FuncLit, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	params := cond.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return false
+	}
+	return pass.Info.Defs[params.List[0].Names[0]] == obj
+}
+
+// isDirectCallee reports whether id appears as the Fun of some call
+// expression in body.
+func isDirectCallee(body ast.Node, id *ast.Ident) bool {
+	direct := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == ast.Expr(id) {
+			direct = true
+		}
+		return !direct
+	})
+	return direct
+}

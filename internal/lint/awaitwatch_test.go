@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestAwaitWatchCorpus runs the analyzer over the seeded-violation
+// corpus: unwatched reads, unread watches, Proc calls and nested
+// Awaits inside conditions, escaped read funcs, spread/non-literal
+// arguments, and duplicate watch entries.
+func TestAwaitWatchCorpus(t *testing.T) {
+	runWant(t, AwaitWatch, "awaitwatch")
+}
+
+// TestAwaitWatchCleanOnMemsim checks the analyzer accepts memsim's
+// own Await helpers (AwaitEq and friends are the canonical exact
+// cover).
+func TestAwaitWatchCleanOnMemsim(t *testing.T) {
+	pkg, err := testLoader(t).Load("fetchphi/internal/memsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Check(AwaitWatch, pkg) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism keeps the simulation result path bit-reproducible:
+// schedule replay (memsim trace checkpoints) and the RMR regression
+// gate both diff artifacts across runs, so a wall-clock read, a
+// global (unseeded) rand call, or output emitted while iterating a
+// map breaks them in ways that only show up as flaky CI. Wall-clock
+// experiments that are nondeterministic by design (E9) annotate the
+// individual call sites with //fetchphilint:ignore directives.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "no wall-clock reads, global rand, or map-iteration-ordered " +
+		"output on the simulation result path",
+	Packages: DeterministicPackages,
+	Run:      runDeterminism,
+}
+
+// wallClockFuncs are the time functions that read the real clock (or
+// schedule against it).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that are
+// fine to call: they construct explicitly seeded generators rather
+// than consuming the shared global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	pkg, name, ok := pkgFunc(pass.Info, call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		if wallClockFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: results on this path must be bit-reproducible", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global source: use a rand.New(rand.NewSource(seed)) owned by the caller", name)
+		}
+	}
+}
+
+// checkMapRangeOutput flags loops that iterate a map and emit output
+// (prints, or writes to a Writer/Builder) from the loop body: Go map
+// order is random per run, so anything rendered that way diffs
+// between identical runs. Collecting keys into a slice and sorting is
+// the sanctioned pattern (and passes, since the collection loop does
+// not print).
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := pkgFunc(pass.Info, call); ok && pkg == "fmt" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map-range loop: map iteration order is random, so this output is nondeterministic — collect and sort the keys first", name)
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Printf", "Print", "Println":
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						pass.Reportf(call.Pos(),
+							"%s.%s inside a map-range loop: map iteration order is random, so this output is nondeterministic — collect and sort the keys first",
+							types.ExprString(sel.X), sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

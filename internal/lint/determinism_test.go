@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// TestDeterminismCorpus runs the analyzer over the seeded-violation
+// corpus: wall-clock reads, global rand draws, map-ordered output,
+// and one directive-suppressed call.
+func TestDeterminismCorpus(t *testing.T) {
+	runWant(t, Determinism, "determinism")
+}
+
+// TestDeterminismCleanOnResultPath checks the real result-path
+// packages carry no violations (E9's by-design wall-clock sites are
+// annotated with ignore directives).
+func TestDeterminismCleanOnResultPath(t *testing.T) {
+	loader := testLoader(t)
+	for _, rel := range DeterministicPackages {
+		pkg, err := loader.Load("fetchphi/" + rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range Check(Determinism, pkg) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

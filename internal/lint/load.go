@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit an
+// analyzer runs over.
+type Package struct {
+	// Path is the package's import path (or, for testdata corpora, the
+	// directory it was loaded from).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is shared across every package a Loader produced.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included, sorted by file
+	// name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact tables.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Module-local
+// imports resolve against the module root on disk; standard-library
+// imports resolve through the compiler's source importer, so the
+// loader works offline with no dependencies outside the Go toolchain.
+type Loader struct {
+	// Fset is shared by every package this loader touches.
+	Fset *token.FileSet
+	// Module is the module path from go.mod (e.g. "fetchphi").
+	Module string
+	// Root is the module root directory.
+	Root string
+
+	stdlib types.Importer
+	pkgs   map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+// NewLoader creates a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		Module: module,
+		Root:   root,
+		stdlib: importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*loadResult),
+	}, nil
+}
+
+// Load parses and type-checks the package with the given import path,
+// which must be the module itself or a package under it.
+func (l *Loader) Load(path string) (*Package, error) {
+	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+		return nil, fmt.Errorf("lint: %q is outside module %s", path, l.Module)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return l.load(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+}
+
+// LoadDir parses and type-checks the package in dir (used for
+// testdata corpora, whose directories are not importable packages).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	return l.load(filepath.ToSlash(dir), abs)
+}
+
+// Import implements types.Importer: module-local paths load from
+// disk, everything else falls through to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func (l *Loader) load(key, dir string) (*Package, error) {
+	if r, ok := l.pkgs[key]; ok {
+		if r.loading {
+			return nil, fmt.Errorf("lint: import cycle through %s", key)
+		}
+		return r.pkg, r.err
+	}
+	r := &loadResult{loading: true}
+	l.pkgs[key] = r
+	r.pkg, r.err = l.typecheck(key, dir)
+	r.loading = false
+	return r.pkg, r.err
+}
+
+// typecheck parses the non-test sources of dir and runs go/types over
+// them.
+func (l *Loader) typecheck(key, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(key, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", key, err)
+	}
+	return &Package{
+		Path:  key,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

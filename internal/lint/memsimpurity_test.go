@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// TestMemsimPurityCorpus runs the analyzer over the seeded-violation
+// corpus: banned imports, package-level variables, goroutines, and
+// channel operations in an algorithm package.
+func TestMemsimPurityCorpus(t *testing.T) {
+	runWant(t, MemsimPurity, "memsimpurity")
+}
+
+// TestMemsimPurityCleanOnAlgorithms checks every real algorithm
+// package is violation-free — the property `make lint` gates on.
+func TestMemsimPurityCleanOnAlgorithms(t *testing.T) {
+	loader := testLoader(t)
+	for _, rel := range AlgorithmPackages {
+		pkg, err := loader.Load("fetchphi/" + rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range Check(MemsimPurity, pkg) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

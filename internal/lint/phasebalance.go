@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PhaseBalance checks the phase-annotation protocol on every
+// control-flow path of a function: EnterCS is matched by ExitCS,
+// BeginEntrySection by EndExitSection, and neither pair nests. An
+// unbalanced path leaves the simulated machine's CS occupancy or the
+// per-entry RMR window wrong for the rest of the run — the kind of
+// bug that surfaces as a bogus mutual-exclusion violation (or a
+// silently wrong MaxRMRGap) far from its cause. The analysis is
+// intra-procedural and conservative: each function (or closure) that
+// mentions one of the four calls must balance them itself.
+var PhaseBalance = &Analyzer{
+	Name: "phasebalance",
+	Doc: "every EnterCS is matched by an ExitCS on all paths, " +
+		"BeginEntrySection by EndExitSection, and phase annotations do not nest",
+	Run: runPhaseBalance,
+}
+
+// phaseState is the abstract machine state tracked along one path.
+type phaseState struct {
+	inCS       bool
+	csPos      token.Pos
+	inEntry    bool
+	entryPos   token.Pos
+	terminated bool // path ended (return/panic/break)
+	// deferredExit/deferredEnd record `defer p.ExitCS()` style
+	// cleanups, which satisfy the matching obligation at function end.
+	deferredExit bool
+	deferredEnd  bool
+}
+
+func runPhaseBalance(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil || !mentionsPhaseCalls(pass, body) {
+				return true // nested closures still visited below
+			}
+			st := analyzeStmts(pass, body.List, phaseState{})
+			if st.terminated {
+				return true
+			}
+			if st.inCS && !st.deferredExit {
+				pass.Reportf(st.csPos, "EnterCS is not matched by an ExitCS on every path of this function")
+			}
+			if st.inEntry && !st.deferredEnd {
+				pass.Reportf(st.entryPos, "BeginEntrySection is not matched by an EndExitSection on every path of this function")
+			}
+			return true
+		})
+	}
+}
+
+// phaseCalls are the annotation methods the analyzer tracks.
+var phaseCalls = map[string]bool{
+	"EnterCS": true, "ExitCS": true,
+	"BeginEntrySection": true, "EndExitSection": true,
+}
+
+// mentionsPhaseCalls reports whether body calls any tracked method
+// outside nested closures (which are analyzed on their own).
+func mentionsPhaseCalls(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := procMethod(pass.Info, n); ok && phaseCalls[name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectPhaseCalls returns the tracked calls under n in source
+// order, not descending into nested function literals. It is only
+// called on simple statements and expressions, which cannot contain
+// the control-flow statements analyzeStmt handles structurally.
+func collectPhaseCalls(pass *Pass, n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := procMethod(pass.Info, n); ok && phaseCalls[name] {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func analyzeStmts(pass *Pass, stmts []ast.Stmt, st phaseState) phaseState {
+	for _, s := range stmts {
+		st = analyzeStmt(pass, s, st)
+		if st.terminated {
+			break
+		}
+	}
+	return st
+}
+
+func analyzeStmt(pass *Pass, s ast.Stmt, st phaseState) phaseState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return analyzeStmts(pass, s.List, st)
+
+	case *ast.LabeledStmt:
+		return analyzeStmt(pass, s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = applyCalls(pass, s.Init, st)
+		}
+		st = applyCalls(pass, s.Cond, st)
+		thenSt := analyzeStmts(pass, s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = analyzeStmt(pass, s.Else, st)
+		}
+		return merge(pass, s.Pos(), thenSt, elseSt)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = applyCalls(pass, s.Init, st)
+		}
+		if s.Cond != nil {
+			st = applyCalls(pass, s.Cond, st)
+		}
+		bodySt := analyzeStmts(pass, s.Body.List, st)
+		if s.Post != nil && !bodySt.terminated {
+			bodySt = applyCalls(pass, s.Post, bodySt)
+		}
+		loopInvariant(pass, s.Pos(), st, bodySt)
+		return st
+
+	case *ast.RangeStmt:
+		st = applyCalls(pass, s.X, st)
+		bodySt := analyzeStmts(pass, s.Body.List, st)
+		loopInvariant(pass, s.Pos(), st, bodySt)
+		return st
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return analyzeCases(pass, s, st)
+
+	case *ast.DeferStmt:
+		if name, ok := procMethod(pass.Info, s.Call); ok {
+			switch name {
+			case "ExitCS":
+				st.deferredExit = true
+			case "EndExitSection":
+				st.deferredEnd = true
+			case "EnterCS", "BeginEntrySection":
+				pass.Reportf(s.Pos(), "deferred %s makes the phase-annotation order unanalyzable; call it inline", name)
+			}
+		}
+		return st
+
+	case *ast.GoStmt:
+		return st // the goroutine's closure is analyzed on its own
+
+	case *ast.ReturnStmt:
+		st = applyCalls(pass, s, st)
+		if st.inCS && !st.deferredExit {
+			pass.Reportf(s.Pos(), "return while inside the critical section (EnterCS not matched by ExitCS)")
+		}
+		if st.inEntry && !st.deferredEnd {
+			pass.Reportf(s.Pos(), "return while inside an entry/exit window (BeginEntrySection not matched by EndExitSection)")
+		}
+		st.terminated = true
+		return st
+
+	case *ast.BranchStmt:
+		// break/continue/goto: end this path conservatively rather
+		// than modeling jump targets.
+		st.terminated = true
+		return st
+
+	default:
+		st = applyCalls(pass, s, st)
+		if isPanicStmt(pass, s) {
+			st.terminated = true
+		}
+		return st
+	}
+}
+
+// analyzeCases merges the branches of a switch/type-switch/select.
+func analyzeCases(pass *Pass, s ast.Stmt, st phaseState) phaseState {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = applyCalls(pass, s.Init, st)
+		}
+		if s.Tag != nil {
+			st = applyCalls(pass, s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+	}
+	if !hasDefault {
+		// A switch with no default can fall through unchanged.
+		bodies = append(bodies, nil)
+	}
+	out := phaseState{terminated: true}
+	for _, body := range bodies {
+		out = merge(pass, s.Pos(), out, analyzeStmts(pass, body, st))
+	}
+	return out
+}
+
+// applyCalls processes the tracked calls syntactically contained in n
+// (excluding closures and structurally-handled statements) in source
+// order.
+func applyCalls(pass *Pass, n ast.Node, st phaseState) phaseState {
+	for _, call := range collectPhaseCalls(pass, n) {
+		name, _ := procMethod(pass.Info, call)
+		switch name {
+		case "EnterCS":
+			if st.inCS {
+				pass.Reportf(call.Pos(), "nested EnterCS: the critical section entered at %s is still open",
+					pass.Fset.Position(st.csPos))
+			}
+			st.inCS, st.csPos = true, call.Pos()
+		case "ExitCS":
+			if !st.inCS {
+				pass.Reportf(call.Pos(), "ExitCS without a matching EnterCS on this path")
+			}
+			st.inCS = false
+		case "BeginEntrySection":
+			if st.inEntry {
+				pass.Reportf(call.Pos(), "nested BeginEntrySection: the entry/exit window opened at %s is still open",
+					pass.Fset.Position(st.entryPos))
+			}
+			if st.inCS {
+				pass.Reportf(call.Pos(), "BeginEntrySection inside the critical section: the entry window must open before EnterCS")
+			}
+			st.inEntry, st.entryPos = true, call.Pos()
+		case "EndExitSection":
+			if !st.inEntry {
+				pass.Reportf(call.Pos(), "EndExitSection without a matching BeginEntrySection on this path")
+			}
+			if st.inCS {
+				pass.Reportf(call.Pos(), "EndExitSection inside the critical section: ExitCS must come first")
+			}
+			st.inEntry = false
+		}
+	}
+	return st
+}
+
+// merge joins two branch states, reporting when they disagree on an
+// open annotation (i.e. it is matched on only some paths).
+func merge(pass *Pass, pos token.Pos, a, b phaseState) phaseState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	if a.inCS != b.inCS {
+		pass.Reportf(pos, "EnterCS is matched by ExitCS on only some paths of this branch")
+		a.inCS = a.inCS && b.inCS
+	}
+	if a.inEntry != b.inEntry {
+		pass.Reportf(pos, "BeginEntrySection is matched by EndExitSection on only some paths of this branch")
+		a.inEntry = a.inEntry && b.inEntry
+	}
+	a.deferredExit = a.deferredExit || b.deferredExit
+	a.deferredEnd = a.deferredEnd || b.deferredEnd
+	return a
+}
+
+// loopInvariant checks that one loop iteration leaves the phase state
+// where it found it — otherwise iterations accumulate open (or
+// doubly-closed) annotations.
+func loopInvariant(pass *Pass, pos token.Pos, entry, exit phaseState) {
+	if exit.terminated {
+		return
+	}
+	if entry.inCS != exit.inCS {
+		pass.Reportf(pos, "loop body changes critical-section state across iterations (EnterCS/ExitCS unbalanced)")
+	}
+	if entry.inEntry != exit.inEntry {
+		pass.Reportf(pos, "loop body changes entry-window state across iterations (BeginEntrySection/EndExitSection unbalanced)")
+	}
+}
+
+// isPanicStmt reports whether s is a bare panic(...) call statement.
+func isPanicStmt(pass *Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := pass.Info.Uses[id].(*types.Builtin)
+	return builtin
+}

@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+// TestPhaseBalanceCorpus runs the analyzer over the seeded-violation
+// corpus: branch- and loop-unbalanced EnterCS/ExitCS pairs, nested
+// annotations, returns inside open sections, and misordered windows.
+func TestPhaseBalanceCorpus(t *testing.T) {
+	runWant(t, PhaseBalance, "phasebalance")
+}
+
+// TestPhaseBalanceCleanOnHarness checks the real harness (the main
+// author of phase annotations) is violation-free.
+func TestPhaseBalanceCleanOnHarness(t *testing.T) {
+	pkg, err := testLoader(t).Load("fetchphi/internal/harness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Check(PhaseBalance, pkg) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

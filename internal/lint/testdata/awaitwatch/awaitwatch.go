@@ -1,0 +1,84 @@
+// Package awaitwatch is the analysistest corpus for the awaitwatch
+// analyzer: each `// want` comment marks a seeded violation of the
+// Await watch-set discipline.
+package awaitwatch
+
+import "fetchphi/internal/memsim"
+
+// Word mirrors the algorithm packages' local alias.
+type Word = memsim.Word
+
+// okExact covers its reads exactly: no diagnostics.
+func okExact(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0 && read(b) == 1
+	}, a, b)
+}
+
+// okWrapper uses the canonical helper shape (one read, one watch).
+func okWrapper(p *memsim.Proc, v memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool { return read(v) == 7 }, v)
+}
+
+// badUnwatched reads a variable missing from the watch list: a write
+// to b will never wake the waiter.
+func badUnwatched(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0 || read(b) != 0 // want "reads b, which is not in the watch list"
+	}, a)
+}
+
+// badUnread watches a variable the condition never reads: every write
+// to b triggers a useless re-check.
+func badUnread(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0
+	}, a, b) // want "watched variable b is never read"
+}
+
+// badProcCall performs a charged memory operation inside the
+// condition, corrupting the spin accounting.
+func badProcCall(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0 && p.Read(b) != 0 // want `calls \(\*memsim.Proc\).Read`
+	}, a, b) // want "watched variable b is never read"
+}
+
+// badNestedAwait would deadlock the engine: the process is already at
+// an Await scheduling point.
+func badNestedAwait(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		p.AwaitTrue(b) // want `calls \(\*memsim.Proc\).AwaitTrue`
+		return read(a) != 0
+	}, a)
+}
+
+// badNotLiteral hides the condition behind a variable, defeating the
+// static read-set check.
+func badNotLiteral(p *memsim.Proc, a memsim.Var) {
+	cond := func(read func(memsim.Var) Word) bool { return read(a) != 0 }
+	p.Await(cond, a) // want "must be a func literal"
+}
+
+// badSpread hides the watch list behind a slice.
+func badSpread(p *memsim.Proc, a memsim.Var) {
+	vars := []memsim.Var{a}
+	p.Await(func(read func(memsim.Var) Word) bool { return read(a) != 0 }, vars...) // want "spread watch list"
+}
+
+// badEscape passes the injected read func to a helper, so the reads
+// it performs are invisible to the analysis.
+func badEscape(p *memsim.Proc, a memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return helper(read, a) // want "must only be called directly"
+	}, a) // want "watched variable a is never read"
+}
+
+func helper(read func(memsim.Var) Word, v memsim.Var) bool { return read(v) != 0 }
+
+// badDuplicate lists the same variable twice.
+func badDuplicate(p *memsim.Proc, a memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0
+	}, a, a) // want "duplicate watch variable a"
+}

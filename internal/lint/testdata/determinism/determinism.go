@@ -1,0 +1,69 @@
+// Package determinism is the analysistest corpus for the determinism
+// analyzer: wall-clock reads, global rand, and map-ordered output on
+// what stands in for the simulation result path.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// stamp reads the wall clock into a result.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// pause schedules against the real clock.
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// exempted is nondeterministic by design and says so; the directive
+// suppresses the diagnostic (no want here).
+func exempted() time.Time {
+	//fetchphilint:ignore determinism wall-clock corpus exemption, mirrors E9
+	return time.Now()
+}
+
+// shuffle consumes the shared global source: unseeded, unreproducible.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global source"
+}
+
+// pick is fine: an explicitly seeded generator owned by the caller.
+func pick(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// render prints while ranging a map: output order changes run to run.
+func render(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map-range loop"
+	}
+}
+
+// build writes into a Builder while ranging a map.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside a map-range loop"
+	}
+	return b.String()
+}
+
+// renderSorted is the sanctioned pattern: collect, sort, then emit.
+func renderSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}

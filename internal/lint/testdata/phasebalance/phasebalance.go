@@ -1,0 +1,139 @@
+// Package phasebalance is the analysistest corpus for the
+// phasebalance analyzer: critical-section and entry-window
+// annotations that do not pair up on every path.
+package phasebalance
+
+import "fetchphi/internal/memsim"
+
+// okProtocol is the canonical harness shape: window opens, CS nested
+// inside it, both closed, repeated in a loop.
+func okProtocol(p *memsim.Proc, entries int) {
+	for e := 0; e < entries; e++ {
+		p.BeginEntrySection()
+		p.EnterCS()
+		p.ExitCS()
+		_ = p.EndExitSection()
+	}
+}
+
+// okDeferred closes the critical section with a defer.
+func okDeferred(p *memsim.Proc) {
+	p.EnterCS()
+	defer p.ExitCS()
+}
+
+// okBothBranches exits on every path.
+func okBothBranches(p *memsim.Proc, c bool) {
+	p.EnterCS()
+	if c {
+		p.ExitCS()
+	} else {
+		p.ExitCS()
+	}
+}
+
+// badBranch forgets the exit on the else path.
+func badBranch(p *memsim.Proc, c bool) {
+	p.EnterCS()
+	if c { // want "EnterCS is matched by ExitCS on only some paths"
+		p.ExitCS()
+	}
+}
+
+// badReturn leaves the function while still holding the CS.
+func badReturn(p *memsim.Proc, c bool) {
+	p.EnterCS()
+	if c {
+		return // want "return while inside the critical section"
+	}
+	p.ExitCS()
+}
+
+// badNested enters the CS twice without leaving.
+func badNested(p *memsim.Proc) {
+	p.EnterCS()
+	p.EnterCS() // want "nested EnterCS"
+	p.ExitCS()
+	p.ExitCS() // want "ExitCS without a matching EnterCS"
+}
+
+// badUnmatchedExit exits a CS it never entered.
+func badUnmatchedExit(p *memsim.Proc) {
+	p.ExitCS() // want "ExitCS without a matching EnterCS"
+}
+
+// badLoop accumulates one open CS per iteration.
+func badLoop(p *memsim.Proc, n int) {
+	for i := 0; i < n; i++ { // want "loop body changes critical-section state"
+		p.EnterCS()
+	}
+}
+
+// badDanglingEnter never closes the section at all.
+func badDanglingEnter(p *memsim.Proc) {
+	p.EnterCS() // want "EnterCS is not matched by an ExitCS on every path"
+}
+
+// badWindow opens the RMR window and loses it on one path.
+func badWindow(p *memsim.Proc, c bool) {
+	p.BeginEntrySection()
+	p.EnterCS()
+	p.ExitCS()
+	if !c {
+		return // want "return while inside an entry/exit window"
+	}
+	_ = p.EndExitSection()
+}
+
+// badWindowNested opens the window twice.
+func badWindowNested(p *memsim.Proc) {
+	p.BeginEntrySection()
+	p.BeginEntrySection() // want "nested BeginEntrySection"
+	_ = p.EndExitSection()
+}
+
+// badOrder closes the window while the CS is still open.
+func badOrder(p *memsim.Proc) {
+	p.BeginEntrySection()
+	p.EnterCS()
+	_ = p.EndExitSection() // want "EndExitSection inside the critical section"
+	p.ExitCS()
+}
+
+// badEndWithoutBegin closes a window that was never opened.
+func badEndWithoutBegin(p *memsim.Proc) {
+	_ = p.EndExitSection() // want "EndExitSection without a matching BeginEntrySection"
+}
+
+// okPanic: a panicking path has no further obligations.
+func okPanic(p *memsim.Proc, c bool) {
+	p.EnterCS()
+	if c {
+		panic("violation")
+	}
+	p.ExitCS()
+}
+
+// okSwitch balances every case (and the implicit fallthrough path is
+// already balanced when no annotation is open).
+func okSwitch(p *memsim.Proc, k int) {
+	switch k {
+	case 0:
+		p.EnterCS()
+		p.ExitCS()
+	default:
+		p.EnterCS()
+		p.ExitCS()
+	}
+}
+
+// badSwitch leaves the CS open in one case only.
+func badSwitch(p *memsim.Proc, k int) {
+	switch k { // want "EnterCS is matched by ExitCS on only some paths"
+	case 0:
+		p.EnterCS()
+	default:
+		p.EnterCS()
+		p.ExitCS()
+	}
+}

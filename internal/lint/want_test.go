@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runWant is the corpus driver, in the style of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over the package in testdata/<dir> and checks the diagnostics
+// against `// want "regexp"` comments. Every want must be matched by
+// a diagnostic on its line, and every diagnostic must be claimed by a
+// want.
+func runWant(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	diags := Check(a, pkg)
+	wants := parseWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		claimed := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a diagnostic matching re on the given line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the quoted patterns of a want comment: either
+// double-quoted (unquoted before compiling) or backtick-quoted
+// (taken verbatim, for patterns full of regexp metacharacters).
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants collects the corpus's want comments.
+func parseWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := indexWant(text)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+					pat := m[1] // backtick form: verbatim
+					if m[1] == "" && m[2] != "" {
+						var err error
+						pat, err = strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[2], err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// indexWant finds the start of a "want" marker in a comment.
+func indexWant(text string) int {
+	for _, prefix := range []string{"// want ", "//want "} {
+		if idx := strings.Index(text, prefix); idx >= 0 {
+			return idx + len(prefix)
+		}
+	}
+	return -1
+}
+
+// testLoader builds a loader rooted at the module (two levels up from
+// this package's directory).
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+// moduleRoot walks up from the working directory to the first go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

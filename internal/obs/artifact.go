@@ -78,8 +78,22 @@ type Cell struct {
 	MaxBypass int64 `json:"max_bypass"`
 	// Steps is the run's total scheduling points (simulation cost).
 	Steps int64 `json:"steps"`
+	// Hotspots are the top-k shared variables ranked by the RMR
+	// traffic they attracted (the cmd/hotspots attribution view,
+	// surfaced per cell). Informational: the gate does not compare
+	// them, but a diff pinpoints *where* a regressed cell's extra
+	// RMRs went.
+	Hotspots []HotVar `json:"hotspots,omitempty"`
 	// Run holds the distributional metrics.
 	Run RunMetrics `json:"run"`
+}
+
+// HotVar is one row of a cell's per-variable RMR attribution.
+type HotVar struct {
+	// Name is the simulated variable's allocation name.
+	Name string `json:"name"`
+	// RMRs is the remote-memory-reference count it attracted.
+	RMRs int64 `json:"rmrs"`
 }
 
 // Key identifies a cell across artifacts: two artifacts' cells with

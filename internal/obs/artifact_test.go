@@ -20,6 +20,7 @@ func sampleArtifact() *Artifact {
 		return Cell{
 			Experiment: "E1", Algorithm: alg, Model: model, N: n, Entries: 4, Seed: seed,
 			MeanRMR: mean, WorstRMR: worst, NonLocalSpins: spins, MaxBypass: 3, Steps: 1234,
+			Hotspots: []HotVar{{Name: "lock.tail", RMRs: 64}, {Name: "lock.grant[0]", RMRs: 32}},
 			Run: RunMetrics{
 				Entries: 4 * int64(n), TotalRMRs: int64(mean * 4 * float64(n)),
 				PhaseRMRs:   map[string]int64{"entry": 40, "exit": 10},

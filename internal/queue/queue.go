@@ -16,8 +16,10 @@ import (
 	"fetchphi/internal/memsim"
 )
 
-// qDebug enables tracing of queue operations (set Q_DEBUG=1).
-var qDebug = os.Getenv("Q_DEBUG") != ""
+// qDebug reports whether tracing of queue operations is enabled (set
+// Q_DEBUG=1). A function rather than a package-level variable: the
+// memsimpurity analyzer bans mutable globals in algorithm packages.
+func qDebug() bool { return os.Getenv("Q_DEBUG") != "" }
 
 // Word is re-exported for brevity.
 type Word = memsim.Word
@@ -53,7 +55,7 @@ func New(m *memsim.Machine, name string) *Queue {
 // already present, nothing changes (the paper enqueues a discovered
 // waiter "if it has not already been added by some other process").
 func (q *Queue) Enqueue(p *memsim.Proc, id int) {
-	if qDebug {
+	if qDebug() {
 		fmt.Printf("  wq[%06d]: p%d enqueues p%d\n", p.Machine().StepsSoFar(), p.ID(), id)
 	}
 	if p.Read(q.in[id]) != 0 {
@@ -80,7 +82,7 @@ func (q *Queue) Dequeue(p *memsim.Proc) int {
 	}
 	id := int(h - 1)
 	q.unlink(p, id)
-	if qDebug {
+	if qDebug() {
 		fmt.Printf("  wq[%06d]: p%d dequeues p%d\n", p.Machine().StepsSoFar(), p.ID(), id)
 	}
 	return id
@@ -90,7 +92,7 @@ func (q *Queue) Dequeue(p *memsim.Proc) int {
 // Remove(WaitingQueue, p), used by a process to make sure it is not
 // promoted again after finishing).
 func (q *Queue) Remove(p *memsim.Proc, id int) {
-	if qDebug {
+	if qDebug() {
 		fmt.Printf("  wq[%06d]: p%d removes p%d (present=%v)\n", p.Machine().StepsSoFar(), p.ID(), id, p.Machine().Value(q.in[id]) != 0)
 	}
 	if p.Read(q.in[id]) == 0 {
