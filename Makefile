@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint build test race bench report baseline gate clean
+.PHONY: ci lint vet fetchphilint build test race trace-smoke bench report baseline gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
-# analysis suite), build, tests, and the race detector over the
-# genuinely concurrent packages.
-ci: lint build test race
+# analysis suite), build, tests, the race detector over the genuinely
+# concurrent packages, and the trace-pipeline smoke test.
+ci: lint build test race trace-smoke
 
 # lint runs go vet plus cmd/fetchphilint, the custom static-analysis
 # suite (awaitwatch, memsimpurity, determinism, phasebalance).
@@ -28,6 +28,15 @@ test:
 # layer it records into.
 race:
 	$(GO) test -race ./internal/nativelock/... ./internal/harness/... ./internal/obs/...
+
+# trace-smoke exercises the whole trace pipeline on a real workload:
+# record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
+# validate it against the schema, and round-trip it through the
+# Perfetto (Chrome trace-event) converter.
+trace-smoke:
+	$(GO) run ./cmd/tracectl record -alg g-dsm -model DSM -n 4 -entries 3 -out bench/current/traces/TRACE_smoke.json
+	$(GO) run ./cmd/tracectl validate -in bench/current/traces/TRACE_smoke.json
+	$(GO) run ./cmd/tracectl convert -in bench/current/traces/TRACE_smoke.json -out bench/current/traces/TRACE_smoke.chrome.json
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
+	"fetchphi/internal/trace"
+)
+
+// flightLog is the report run's flight-recorder registry: one bounded
+// trace.Recorder per sweep cell, kept until the run (and the
+// regression gate) has finished, so any failure — an invariant
+// violation mid-sweep or a gate regression found at the very end — can
+// be dumped as a fetchphi.trace/v1 artifact.
+//
+// Experiments run concurrently, so the registry is mutex-guarded; the
+// recorders themselves are not (each is used by exactly one sweep
+// worker, per the harness.Workload.Sink contract).
+type flightLog struct {
+	limit int    // per-process span bound (0 = flight recording off)
+	dir   string // <out>/traces
+	mu    sync.Mutex
+	cells map[string]flightCell
+}
+
+type flightCell struct {
+	rec  *trace.Recorder
+	cell harness.Cell
+}
+
+func newFlightLog(limit int, outDir string) *flightLog {
+	return &flightLog{
+		limit: limit,
+		dir:   filepath.Join(outDir, "traces"),
+		cells: make(map[string]flightCell),
+	}
+}
+
+// cellKey is the benchmark cell key of a sweep cell — the same string
+// CellResult.Record().Key() yields, and the one gate regressions carry
+// in Regression.Cell.
+func cellKey(c harness.Cell) string {
+	return obs.Cell{
+		Experiment: c.Experiment,
+		Algorithm:  c.Algorithm,
+		Model:      c.Workload.Model.String(),
+		N:          c.Workload.N,
+		Entries:    c.Workload.Entries,
+		Seed:       c.Workload.Seed,
+	}.Key()
+}
+
+// attach is the experiments.Opts.Sink hook: it registers a fresh
+// bounded recorder for the cell and hands it to the sweep.
+func (f *flightLog) attach(c harness.Cell) memsim.EventSink {
+	rec := trace.NewRecorder(f.limit)
+	f.mu.Lock()
+	f.cells[cellKey(c)] = flightCell{rec: rec, cell: c}
+	f.mu.Unlock()
+	return rec
+}
+
+// dump writes the named cell's flight-recorder window as a trace
+// artifact and returns its path ("" if the cell was never recorded —
+// wall-clock cells, or a run with flight recording off).
+func (f *flightLog) dump(key, reason string) (string, error) {
+	f.mu.Lock()
+	fc, ok := f.cells[key]
+	f.mu.Unlock()
+	if !ok {
+		return "", nil
+	}
+	a := fc.rec.Artifact("flight-recorder")
+	a.Reason = reason
+	a.Cell = key
+	a.Algorithm = fc.cell.Algorithm
+	a.Model = fc.cell.Workload.Model.String()
+	a.N = fc.cell.Workload.N
+	a.CreatedBy = "cmd/report"
+	path := filepath.Join(f.dir, obs.TraceArtifactName(key))
+	if err := a.WriteFile(path); err != nil {
+		return "", fmt.Errorf("flight recorder for %s: %w", key, err)
+	}
+	return path, nil
+}
+
+// dumpFailure is the experiments.Opts.OnFailure hook: a cell run
+// failed (violation, deadlock, starvation timeout), so its recorder's
+// window goes to disk before the sweep panic unwinds.
+func (f *flightLog) dumpFailure(r harness.CellResult) (string, error) {
+	return f.dump(cellKey(r.Cell), r.Err.Error())
+}

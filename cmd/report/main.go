@@ -7,7 +7,7 @@
 // Usage:
 //
 //	report [-experiments all|E1,E2,...] [-quick] [-seed N] [-workers W]
-//	       [-out dir] [-baseline dir] [-degrade F] [-v]
+//	       [-out dir] [-baseline dir] [-degrade F] [-flight SPANS] [-v]
 //
 // The simulation experiments run concurrently (each one shards its
 // cells across its own sweep-engine pool); wall-clock experiments
@@ -19,6 +19,14 @@
 // verify the regression gate actually fires (run once to produce a
 // baseline, run again with -degrade 2 -baseline <dir> and expect a
 // non-zero exit).
+//
+// Every simulated sweep cell runs with a flight recorder attached (a
+// bounded ring of its most recent spans; -flight sets the per-process
+// span window, 0 disables). When a cell fails — invariant violation,
+// deadlock, starvation timeout — or the regression gate flags it, the
+// recorder's window is dumped to <out>/traces/TRACE_<cell>.json as a
+// fetchphi.trace/v1 artifact; convert it with `tracectl convert` and
+// load the result in Perfetto.
 package main
 
 import (
@@ -35,7 +43,9 @@ import (
 	"sync"
 
 	"fetchphi/internal/experiments"
+	"fetchphi/internal/harness"
 	"fetchphi/internal/obs"
+	"fetchphi/internal/trace"
 )
 
 // expRun is one experiment's outcome: the artifact it produced, or the
@@ -103,6 +113,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		out      = fs.String("out", "bench", "directory to write BENCH_<experiment>.json artifacts into")
 		baseline = fs.String("baseline", "", "directory of prior artifacts to gate against (empty = no gate)")
 		degrade  = fs.Float64("degrade", 1, "self-test: inflate recorded RMR metrics by this factor")
+		flight   = fs.Int("flight", trace.DefaultSpanLimit, "flight-recorder window in spans per process (0 = off)")
 		verbose  = fs.Bool("v", false, "print the rendered tables")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -110,6 +121,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *degrade <= 0 {
 		fmt.Fprintln(stderr, "report: -degrade must be positive")
+		return 2
+	}
+	if *flight < 0 {
+		fmt.Fprintln(stderr, "report: -flight must be non-negative")
 		return 2
 	}
 
@@ -129,6 +144,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	commit := gitCommit()
 	params := obs.Params{Quick: *quick, Seed: *seed, Workers: *workers}
+	var fl *flightLog
+	if *flight > 0 {
+		fl = newFlightLog(*flight, *out)
+	}
 	var mu sync.Mutex
 	runOne := func(e experiments.Experiment) expRun {
 		run := expRun{id: e.ID}
@@ -147,6 +166,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			opts := experiments.Opts{
 				Quick: *quick, Seed: *seed, Workers: *workers,
 				Record: func(c obs.Cell) { art.Cells = append(art.Cells, c) },
+			}
+			if fl != nil && !e.WallClock {
+				opts.Sink = fl.attach
+				opts.OnFailure = func(r harness.CellResult) {
+					path, err := fl.dumpFailure(r)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						fmt.Fprintf(stderr, "report: %v\n", err)
+					} else if path != "" {
+						fmt.Fprintf(stderr, "report: %s: wrote flight recorder %s\n", e.ID, path)
+					}
+				}
 			}
 			tables := e.Build(opts)
 			for i := range tables {
@@ -257,6 +289,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "\nregression gate FAILED (%d):\n", len(regressions))
 			for _, reg := range regressions {
 				fmt.Fprintf(stderr, "  %s\n", reg)
+			}
+			// Dump the flight-recorder window of every regressed cell,
+			// once per cell (a cell can regress on several metrics).
+			if fl != nil {
+				dumped := make(map[string]bool)
+				for _, reg := range regressions {
+					if dumped[reg.Cell] {
+						continue
+					}
+					dumped[reg.Cell] = true
+					path, err := fl.dump(reg.Cell, reg.String())
+					if err != nil {
+						fmt.Fprintf(stderr, "report: %v\n", err)
+					} else if path != "" {
+						fmt.Fprintf(stderr, "report: %s: wrote flight recorder %s\n", reg.Experiment, path)
+					}
+				}
 			}
 			failed = true
 		} else if !failed {

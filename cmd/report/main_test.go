@@ -8,6 +8,7 @@ import (
 
 	"fetchphi/internal/experiments"
 	"fetchphi/internal/obs"
+	"fetchphi/internal/trace"
 )
 
 // TestSelectExperiments covers the -experiments subset parsing:
@@ -130,5 +131,79 @@ func TestRegistryMarksOnlyE9WallClock(t *testing.T) {
 		if e.WallClock != (e.ID == "E9") {
 			t.Fatalf("experiment %s WallClock = %v", e.ID, e.WallClock)
 		}
+	}
+}
+
+// TestGateRegressionDumpsFlightRecorder forces a gate regression (via
+// -degrade) and checks the regressed cells' flight-recorder windows
+// land as valid fetchphi.trace/v1 artifacts that convert to
+// Perfetto-loadable Chrome JSON — the acceptance path for the trace
+// subsystem.
+func TestGateRegressionDumpsFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments twice")
+	}
+	baseDir := t.TempDir()
+	curDir := t.TempDir()
+
+	code, _, stderr := runArgs("-experiments", "E1", "-quick", "-out", baseDir)
+	if code != 0 {
+		t.Fatalf("baseline run exit %d: %s", code, stderr)
+	}
+
+	code, _, stderr = runArgs("-experiments", "E1", "-quick",
+		"-out", curDir, "-baseline", baseDir, "-degrade", "2")
+	if code != 1 {
+		t.Fatalf("degraded run exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "regression gate FAILED") {
+		t.Fatalf("gate did not fire: %s", stderr)
+	}
+	if !strings.Contains(stderr, "wrote flight recorder") {
+		t.Fatalf("no flight-recorder dump announced: %s", stderr)
+	}
+
+	traces, err := filepath.Glob(filepath.Join(curDir, "traces", "TRACE_*.json"))
+	if err != nil || len(traces) == 0 {
+		t.Fatalf("no trace artifacts written (err=%v)", err)
+	}
+	for _, path := range traces {
+		a, err := obs.ReadTraceArtifact(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if a.Kind != "flight-recorder" || a.Reason == "" || a.Cell == "" {
+			t.Fatalf("%s: not a reasoned flight-recorder dump: kind=%q reason=%q cell=%q",
+				path, a.Kind, a.Reason, a.Cell)
+		}
+		if len(a.Spans) == 0 {
+			t.Fatalf("%s: empty span timeline", path)
+		}
+		chrome, err := trace.ChromeTrace(a)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := trace.ValidateChrome(chrome); err != nil {
+			t.Fatalf("%s: conversion not Perfetto-loadable: %v", path, err)
+		}
+	}
+}
+
+// TestFlightDisabled: -flight 0 runs clean and writes no trace
+// directory; -flight must reject negatives.
+func TestFlightDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	dir := t.TempDir()
+	code, _, stderr := runArgs("-experiments", "E1", "-quick", "-flight", "0", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "traces")); !os.IsNotExist(err) {
+		t.Fatalf("flight recording off must not create a traces dir (err=%v)", err)
+	}
+	if code, _, _ := runArgs("-flight", "-1"); code != 2 {
+		t.Fatal("negative -flight accepted")
 	}
 }

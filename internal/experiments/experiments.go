@@ -32,6 +32,17 @@ type Opts struct {
 	// benchmark artifacts. Called sequentially from the experiment
 	// builder's goroutine, after the cell's run completes.
 	Record func(obs.Cell)
+	// Sink, when non-nil, is asked for a memsim.EventSink for every
+	// sweep cell before dispatch — the trace-recorder hook cmd/report
+	// uses for flight recording. Called sequentially from the
+	// experiment builder's goroutine; returning nil leaves the cell
+	// unobserved. Each returned sink is used only by the worker running
+	// its cell, so one recorder per cell needs no locking.
+	Sink func(harness.Cell) memsim.EventSink
+	// OnFailure, when non-nil, observes a failed cell result just
+	// before the sweep panics on it — the flight-recorder dump hook.
+	// Called sequentially, at most once per sweep.
+	OnFailure func(harness.CellResult)
 }
 
 func (o Opts) ns(full []int) []int {
@@ -59,10 +70,18 @@ func (o Opts) entries() int {
 // first correctness failure — every experiment doubles as a
 // correctness gate. Measured cells are forwarded to o.Record.
 func (o Opts) sweep(cells []harness.Cell) []harness.Metrics {
+	if o.Sink != nil {
+		for i := range cells {
+			cells[i].Workload.Sink = o.Sink(cells[i])
+		}
+	}
 	results := harness.Sweep(cells, o.Workers)
 	out := make([]harness.Metrics, len(results))
 	for i, r := range results {
 		if r.Err != nil {
+			if o.OnFailure != nil {
+				o.OnFailure(r)
+			}
 			panic(fmt.Sprintf("experiments: %s: %v", r.Cell.Experiment, r.Err))
 		}
 		if o.Record != nil {

@@ -53,6 +53,13 @@ type Workload struct {
 	Seed int64
 	// MaxSteps bounds the run (default memsim.DefaultMaxSteps).
 	MaxSteps int64
+	// Sink, if non-nil, is attached to the machine before the run
+	// (memsim.Machine.AttachSink) and observes every shared-memory
+	// operation — the trace-recorder hook. Observation-only: it never
+	// changes the run's schedule or metrics. The sink is used from the
+	// worker executing this workload, so per-cell sinks in a parallel
+	// sweep need no locking of their own.
+	Sink memsim.EventSink
 }
 
 // Metrics aggregates what one run measured.
@@ -104,6 +111,9 @@ func Run(b Builder, w Workload) (Metrics, error) {
 		participants = w.N
 	}
 	m := memsim.NewMachine(w.Model, w.N)
+	if w.Sink != nil {
+		m.AttachSink(w.Sink)
+	}
 	alg := b(m)
 	scratch := m.NewVar("cs-scratch", memsim.HomeGlobal, 0)
 	// Per-process, per-entry samples: the engine schedules at most one

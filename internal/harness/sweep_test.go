@@ -143,3 +143,58 @@ func TestCellRecordsHotspots(t *testing.T) {
 		}
 	}
 }
+
+// cellSink is a per-cell EventSink retaining every event it sees.
+type cellSink struct{ events []memsim.TraceEvent }
+
+func (c *cellSink) Record(ev memsim.TraceEvent) { c.events = append(c.events, ev) }
+
+// TestSweepPerCellSinksIsolated: when every cell of a parallel sweep
+// carries its own sink, each sink sees exactly its own cell's event
+// stream — no cross-cell bleed, no reordering — and it matches the
+// stream a serial one-cell run produces. Run under `make race`, this
+// also proves the fanout needs no locking.
+func TestSweepPerCellSinksIsolated(t *testing.T) {
+	cells := sweepCells()
+	sinks := make([]*cellSink, len(cells))
+	for i := range cells {
+		sinks[i] = &cellSink{}
+		cells[i].Workload.Sink = sinks[i]
+	}
+	for i, r := range Sweep(cells, 8) {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+	for i, c := range cells {
+		if len(sinks[i].events) == 0 {
+			t.Fatalf("cell %d sink saw no events", i)
+		}
+		ref := &cellSink{}
+		c.Workload.Sink = ref
+		if _, err := Run(c.Build, c.Workload); err != nil {
+			t.Fatalf("serial rerun of cell %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(sinks[i].events, ref.events) {
+			t.Fatalf("cell %d: parallel-sweep sink diverged from serial run (%d vs %d events)",
+				i, len(sinks[i].events), len(ref.events))
+		}
+	}
+}
+
+// TestSweepSinksObservationOnly: attaching sinks changes no measured
+// metric — recording must be free when you look at the numbers.
+func TestSweepSinksObservationOnly(t *testing.T) {
+	plain := Sweep(sweepCells(), 4)
+	cells := sweepCells()
+	for i := range cells {
+		cells[i].Workload.Sink = &cellSink{}
+	}
+	observed := Sweep(cells, 4)
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Metrics, observed[i].Metrics) {
+			t.Fatalf("cell %d metrics changed when a sink was attached:\nplain    %+v\nobserved %+v",
+				i, plain[i].Metrics, observed[i].Metrics)
+		}
+	}
+}

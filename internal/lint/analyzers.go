@@ -26,6 +26,7 @@ var DeterministicPackages = []string{
 	"internal/harness",
 	"internal/obs",
 	"internal/experiments",
+	"internal/trace",
 }
 
 // All returns the full analyzer suite in reporting order.

@@ -125,10 +125,11 @@ type Machine struct {
 	csOccupant int // process id in critical section, or -1
 	csEntries  int64
 
-	violation error
-	running   *Proc       // process currently between resume and report
-	trace     *traceRing  // nil unless EnableTrace was called
-	sinks     []EventSink // observers of every shared-memory operation
+	violation  error
+	running    *Proc       // process currently between resume and report
+	trace      *traceRing  // nil unless EnableTrace was called
+	sinks      []EventSink // observers of every shared-memory operation
+	phaseSinks []PhaseSink // the subset of sinks observing phase transitions
 }
 
 // NewMachine returns a machine with the given memory model, sized for
@@ -222,12 +223,12 @@ func (m *Machine) chargeRMR(p *Proc, vv *variable) {
 // the value, charging RMRs per the model.
 func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 	vv := m.varAt(v)
+	// Snapshot the RMR counter only when sinks are attached, so the
+	// recorded event can say whether this operation was charged; with
+	// no sinks the hot path stays exactly as before.
+	rmrsBefore := int64(-1)
 	if len(m.sinks) > 0 {
-		kind := TraceRead
-		if spinning {
-			kind = TraceSpinRead
-		}
-		m.record(p, kind, vv, vv.value, vv.value)
+		rmrsBefore = p.stats.RMRs
 	}
 	switch m.model {
 	case DSM:
@@ -243,6 +244,13 @@ func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 			vv.sharers.add(p.id)
 		}
 	}
+	if rmrsBefore >= 0 {
+		kind := TraceRead
+		if spinning {
+			kind = TraceSpinRead
+		}
+		m.record(p, kind, vv, vv.value, vv.value, p.stats.RMRs > rmrsBefore)
+	}
 	return vv.value
 }
 
@@ -250,14 +258,19 @@ func (m *Machine) doRead(p *Proc, v Var, spinning bool) Word {
 // watching v.
 func (m *Machine) doWrite(p *Proc, v Var, x Word) {
 	vv := m.varAt(v)
+	rmrsBefore := int64(-1)
 	if len(m.sinks) > 0 {
-		m.record(p, TraceWrite, vv, vv.value, x)
+		rmrsBefore = p.stats.RMRs
 	}
 	m.chargeWrite(p, vv)
 	if varTrace == "*" || (varTrace != "" && vv.name == varTrace) {
 		fmt.Printf("  var[%06d]: p%d writes %s: %d -> %d\n", m.steps, p.id, vv.name, vv.value, x)
 	}
+	old := vv.value
 	vv.value = x
+	if rmrsBefore >= 0 {
+		m.record(p, TraceWrite, vv, old, x, p.stats.RMRs > rmrsBefore)
+	}
 	m.wakeWatchers(vv)
 }
 
@@ -265,11 +278,15 @@ func (m *Machine) doWrite(p *Proc, v Var, x Word) {
 // value. Its RMR cost is that of a write.
 func (m *Machine) doRMW(p *Proc, v Var, f func(Word) Word) Word {
 	vv := m.varAt(v)
+	rmrsBefore := int64(-1)
+	if len(m.sinks) > 0 {
+		rmrsBefore = p.stats.RMRs
+	}
 	m.chargeWrite(p, vv)
 	old := vv.value
 	vv.value = f(old)
-	if len(m.sinks) > 0 {
-		m.record(p, TraceRMW, vv, old, vv.value)
+	if rmrsBefore >= 0 {
+		m.record(p, TraceRMW, vv, old, vv.value, p.stats.RMRs > rmrsBefore)
 	}
 	if varTrace == "*" || (varTrace != "" && vv.name == varTrace) {
 		fmt.Printf("  var[%06d]: p%d rmw %s: %d -> %d\n", m.steps, p.id, vv.name, old, vv.value)

@@ -212,7 +212,9 @@ func (p *Proc) EnterCS() {
 	p.m.csOccupant = p.id
 	p.m.csEntries++
 	p.stats.CSEntries++
+	from := p.phase
 	p.phase = PhaseCS
+	p.m.recordPhase(p, from, PhaseCS)
 }
 
 // ExitCS marks exit from the critical section. One scheduling point.
@@ -222,7 +224,9 @@ func (p *Proc) ExitCS() {
 		p.failf("critical-section exit by process %d, but occupant is %d", p.id, p.m.csOccupant)
 	}
 	p.m.csOccupant = -1
+	from := p.phase
 	p.phase = PhaseExit
+	p.m.recordPhase(p, from, PhaseExit)
 }
 
 // BeginEntrySection records the RMR count at the start of an entry
@@ -230,7 +234,9 @@ func (p *Proc) ExitCS() {
 // switches the process's phase to PhaseEntry.
 func (p *Proc) BeginEntrySection() {
 	p.rmrAtAcquire = p.stats.RMRs
+	from := p.phase
 	p.phase = PhaseEntry
+	p.m.recordPhase(p, from, PhaseEntry)
 }
 
 // EndExitSection closes the RMR window opened by BeginEntrySection and
@@ -242,7 +248,9 @@ func (p *Proc) EndExitSection() int64 {
 	if gap > p.stats.MaxRMRGap {
 		p.stats.MaxRMRGap = gap
 	}
+	from := p.phase
 	p.phase = PhaseNCS
+	p.m.recordPhase(p, from, PhaseNCS)
 	return gap
 }
 

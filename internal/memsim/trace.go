@@ -53,6 +53,11 @@ type TraceEvent struct {
 	// Before and After are the variable's values around the
 	// operation (equal for reads).
 	Before, After Word
+	// Remote reports whether the operation was charged a remote
+	// memory reference under the machine's model — the per-event form
+	// of the RMR accounting, letting sinks attribute costs without
+	// re-deriving locality.
+	Remote bool
 }
 
 // EventSink observes every shared-memory operation of a run. Sinks are
@@ -65,14 +70,40 @@ type EventSink interface {
 	Record(ev TraceEvent)
 }
 
+// PhaseEvent is one algorithm-phase transition of a process, as
+// delivered to sinks that also implement PhaseSink. Transitions are
+// driven by BeginEntrySection / EnterCS / ExitCS / EndExitSection.
+type PhaseEvent struct {
+	// Step is the global scheduling step at the transition.
+	Step int64
+	// Proc is the transitioning process id.
+	Proc int
+	// From and To are the phases around the transition.
+	From, To Phase
+}
+
+// PhaseSink is an EventSink that additionally observes phase
+// transitions, with the same delivery contract as Record: synchronous,
+// totally ordered, no simulated cost. Sinks attached via AttachSink
+// that implement PhaseSink receive both streams.
+type PhaseSink interface {
+	EventSink
+	// RecordPhase is called once per phase transition.
+	RecordPhase(ev PhaseEvent)
+}
+
 // AttachSink subscribes a sink to the machine's event stream. Call
 // before Run. Multiple sinks may be attached; each receives every
-// event, in order.
+// event, in order. Sinks that also implement PhaseSink additionally
+// receive phase-transition events.
 func (m *Machine) AttachSink(s EventSink) {
 	if s == nil {
 		panic("memsim: AttachSink(nil)")
 	}
 	m.sinks = append(m.sinks, s)
+	if ps, ok := s.(PhaseSink); ok {
+		m.phaseSinks = append(m.phaseSinks, ps)
+	}
 }
 
 // String renders the event as one log line.
@@ -156,7 +187,7 @@ func (m *Machine) FormatTrace() string {
 }
 
 // record delivers one event to every attached sink.
-func (m *Machine) record(p *Proc, kind TraceKind, vv *variable, before, after Word) {
+func (m *Machine) record(p *Proc, kind TraceKind, vv *variable, before, after Word, remote bool) {
 	ev := TraceEvent{
 		Step:   m.steps,
 		Proc:   p.id,
@@ -165,8 +196,20 @@ func (m *Machine) record(p *Proc, kind TraceKind, vv *variable, before, after Wo
 		Var:    vv.name,
 		Before: before,
 		After:  after,
+		Remote: remote,
 	}
 	for _, s := range m.sinks {
 		s.Record(ev)
+	}
+}
+
+// recordPhase delivers one phase transition to every phase-aware sink.
+func (m *Machine) recordPhase(p *Proc, from, to Phase) {
+	if len(m.phaseSinks) == 0 {
+		return
+	}
+	ev := PhaseEvent{Step: m.steps, Proc: p.id, From: from, To: to}
+	for _, s := range m.phaseSinks {
+		s.RecordPhase(ev)
 	}
 }

@@ -160,6 +160,134 @@ func TestAttachSinkSeesPhasedEvents(t *testing.T) {
 	}
 }
 
+// phaseCollectSink additionally retains phase transitions.
+type phaseCollectSink struct {
+	collectSink
+	phases []PhaseEvent
+}
+
+func (c *phaseCollectSink) RecordPhase(ev PhaseEvent) { c.phases = append(c.phases, ev) }
+
+// TestPhaseSinkSeesTransitions: a PhaseSink receives the four
+// transitions of every entry, in order, with matching From/To chains
+// per process.
+func TestPhaseSinkSeesTransitions(t *testing.T) {
+	m := NewMachine(DSM, 2)
+	sink := &phaseCollectSink{}
+	m.AttachSink(sink)
+	lock := m.NewVar("lock", 0, 0)
+	const entries = 3
+	for i := 0; i < 2; i++ {
+		m.AddProc("p", func(p *Proc) {
+			for e := 0; e < entries; e++ {
+				p.BeginEntrySection()
+				p.AwaitEq(lock, 0)
+				p.Write(lock, 1)
+				p.EnterCS()
+				p.ExitCS()
+				p.Write(lock, 0)
+				p.EndExitSection()
+			}
+		})
+	}
+	res := m.Run(RunConfig{Sched: NewRandom(5)})
+	if res.Violation != nil {
+		t.Skipf("schedule broke the toy lock: %v", res.Violation)
+	}
+	// Each process: entries × (ncs→entry→cs→exit→ncs).
+	perProc := map[int][]PhaseEvent{}
+	for _, ev := range sink.phases {
+		perProc[ev.Proc] = append(perProc[ev.Proc], ev)
+	}
+	for proc, evs := range perProc {
+		if len(evs) != 4*entries {
+			t.Fatalf("p%d saw %d phase events, want %d", proc, len(evs), 4*entries)
+		}
+		wantTo := [4]Phase{PhaseEntry, PhaseCS, PhaseExit, PhaseNCS}
+		prev := PhaseNCS
+		for i, ev := range evs {
+			if ev.From != prev || ev.To != wantTo[i%4] {
+				t.Fatalf("p%d transition %d = %v→%v, want %v→%v", proc, i, ev.From, ev.To, prev, wantTo[i%4])
+			}
+			prev = ev.To
+		}
+	}
+	// A plain EventSink must not be required to implement PhaseSink.
+	m2 := NewMachine(DSM, 1)
+	m2.AttachSink(&collectSink{})
+	m2.AddProc("p", func(p *Proc) { p.BeginEntrySection(); p.EndExitSection() })
+	if err := m2.Run(RunConfig{}).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventRemoteMatchesRMRAccounting: summing Remote-marked events
+// per process must reproduce the engine's RMR counters exactly, on
+// every model.
+func TestEventRemoteMatchesRMRAccounting(t *testing.T) {
+	for _, model := range []Model{CC, DSM, CCUpdate} {
+		m := NewMachine(model, 3)
+		sink := &collectSink{}
+		m.AttachSink(sink)
+		v := m.NewVar("x", HomeGlobal, 0)
+		local := m.NewVar("loc", 0, 0)
+		for i := 0; i < 3; i++ {
+			m.AddProc("p", func(p *Proc) {
+				for k := 0; k < 5; k++ {
+					p.RMW(v, func(w Word) Word { return w + 1 })
+					p.Read(v)
+					p.Write(local, Word(k))
+				}
+			})
+		}
+		res := m.Run(RunConfig{Sched: NewRandom(2)})
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		remote := make([]int64, 3)
+		for _, ev := range sink.events {
+			if ev.Remote {
+				remote[ev.Proc]++
+			}
+		}
+		for i, ps := range res.Procs {
+			if remote[i] != ps.RMRs {
+				t.Fatalf("%v: p%d remote events %d != charged RMRs %d", model, i, remote[i], ps.RMRs)
+			}
+		}
+	}
+}
+
+// TestMultiSinkFanout: every attached sink sees the identical event
+// stream — fanout must not split, reorder, or duplicate.
+func TestMultiSinkFanout(t *testing.T) {
+	m := NewMachine(CC, 2)
+	a, b := &collectSink{}, &phaseCollectSink{}
+	m.AttachSink(a)
+	m.AttachSink(b)
+	m.EnableTrace(1 << 8)
+	v := m.NewVar("x", HomeGlobal, 0)
+	for i := 0; i < 2; i++ {
+		m.AddProc("p", func(p *Proc) {
+			p.BeginEntrySection()
+			p.RMW(v, func(w Word) Word { return w + 1 })
+			p.EndExitSection()
+		})
+	}
+	if err := m.Run(RunConfig{Sched: NewRandom(9)}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.events, b.collectSink.events) {
+		t.Fatal("two attached sinks saw different event streams")
+	}
+	if !reflect.DeepEqual(a.events, m.Trace()) {
+		t.Fatal("sinks and trace ring diverged")
+	}
+	if len(b.phases) != 4 {
+		t.Fatalf("phase sink saw %d transitions, want 4", len(b.phases))
+	}
+}
+
 func TestSinkAndRingSeeSameEvents(t *testing.T) {
 	m := NewMachine(CC, 2)
 	sink := &collectSink{}

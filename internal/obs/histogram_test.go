@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
 
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
@@ -92,6 +96,104 @@ func TestHistogramMerge(t *testing.T) {
 	a.Merge(&Histogram{})
 	if a.Count != before {
 		t.Fatal("merging empty histogram changed count")
+	}
+}
+
+// TestQuantileExactWithinReservoir: while every sample fits the
+// reservoir, quantiles are exact order statistics, not bucket bounds.
+func TestQuantileExactWithinReservoir(t *testing.T) {
+	var h Histogram
+	// Observe 1..100 shuffled-ish (reverse order): exactness must not
+	// depend on arrival order.
+	for v := int64(100); v >= 1; v-- {
+		h.Observe(v)
+	}
+	if !h.Exact() {
+		t.Fatal("100 samples must keep the reservoir exact")
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.5, 50}, {0.99, 99}, {0.9, 90}, {1.0, 100}, {0, 1}}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %d, want exact %d", c.q, got, c.want)
+		}
+	}
+	if s := h.String(); !strings.Contains(s, "p50=50") || !strings.Contains(s, "p99=99") {
+		t.Fatalf("exact histogram must label quantiles with '=': %s", s)
+	}
+}
+
+// TestQuantileBoundedAfterOverflow: past ReservoirCap samples the
+// quantile degrades to the bucket upper bound and is labeled `≤`.
+func TestQuantileBoundedAfterOverflow(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= ReservoirCap+100; v++ {
+		h.Observe(v)
+	}
+	if h.Exact() {
+		t.Fatal("overflowed reservoir must not claim exactness")
+	}
+	if len(h.Samples) != ReservoirCap {
+		t.Fatalf("reservoir holds %d samples, cap is %d", len(h.Samples), ReservoirCap)
+	}
+	p50 := h.Quantile(0.5)
+	mid := int64((ReservoirCap + 100) / 2)
+	if p50 < mid || p50 > 2*mid {
+		t.Fatalf("overflowed p50 = %d, want bucket bound within [%d,%d]", p50, mid, 2*mid)
+	}
+	if s := h.String(); !strings.Contains(s, "p99≤") {
+		t.Fatalf("overflowed histogram must label quantiles with '≤': %s", s)
+	}
+	// The reservoir subsample must be real observed values.
+	for _, v := range h.Samples {
+		if v < 1 || v > ReservoirCap+100 {
+			t.Fatalf("reservoir sample %d was never observed", v)
+		}
+	}
+}
+
+// TestReservoirDeterministic: identical observation sequences produce
+// bit-identical reservoirs (no global rand anywhere).
+func TestReservoirDeterministic(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 3*ReservoirCap; v++ {
+		a.Observe(v % 97)
+		b.Observe(v % 97)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical observations diverged")
+	}
+}
+
+// TestMergeReservoirThinning: merging overflowing reservoirs keeps the
+// sample bound, loses exactness, and stays deterministic.
+func TestMergeReservoirThinning(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < ReservoirCap-10; v++ {
+		a.Observe(v)
+		b.Observe(v + 1000)
+	}
+	a.Merge(&b)
+	if len(a.Samples) > ReservoirCap {
+		t.Fatalf("merged reservoir has %d samples, cap %d", len(a.Samples), ReservoirCap)
+	}
+	if a.Exact() {
+		t.Fatal("thinned merge must not claim exact quantiles")
+	}
+	// Small merges stay exact.
+	var c, d Histogram
+	for v := int64(0); v < 10; v++ {
+		c.Observe(v)
+		d.Observe(v + 100)
+	}
+	c.Merge(&d)
+	if !c.Exact() {
+		t.Fatal("small merge must stay exact")
+	}
+	if got := c.Quantile(1.0); got != 109 {
+		t.Fatalf("merged max quantile = %d, want 109", got)
 	}
 }
 

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"fetchphi/internal/obs"
+)
+
+// chromeTrace is the JSON Object Format of the Chrome trace-event
+// specification: the envelope Perfetto (ui.perfetto.dev) and
+// chrome://tracing load directly.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// displayTimeUnit selects the UI's tick label; simulated steps are
+	// not nanoseconds, so the neutral "ms" keeps numbers readable.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Schema string `json:"schema"`
+	} `json:"otherData"`
+}
+
+// chromeEvent is one trace event: "X" (complete span) or "M"
+// (metadata). Fields follow the trace-event spec names exactly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace converts a trace artifact into Chrome trace-event JSON.
+// Each simulated process becomes a named thread (tid = process id);
+// every span becomes a complete ("X") event with ts/dur in scheduling
+// steps and rmrs/vars/remote in args. The output loads in Perfetto
+// unmodified.
+func ChromeTrace(a *obs.TraceArtifact) ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.OtherData.Schema = a.Schema
+
+	procName := a.Algorithm
+	if procName == "" {
+		procName = "fetchphi"
+	}
+	if a.Model != "" {
+		procName += " (" + a.Model + ")"
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": procName},
+	})
+
+	procs := map[int]bool{}
+	for _, s := range a.Spans {
+		procs[s.Proc] = true
+	}
+	ids := make([]int, 0, len(procs))
+	for p := range procs {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	for _, p := range ids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("p%d", p)},
+		})
+	}
+
+	for _, s := range a.Spans {
+		name := s.Kind
+		if s.Open {
+			name += " (open)"
+		}
+		args := map[string]any{"rmrs": s.RMRs}
+		if len(s.Vars) > 0 {
+			args["vars"] = s.Vars
+		}
+		if s.Remote {
+			args["remote"] = true
+		}
+		if s.Open {
+			args["open"] = true
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   s.Start,
+			Dur:  s.End - s.Start,
+			Pid:  0,
+			Tid:  s.Proc,
+			Args: args,
+		})
+	}
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("trace: marshal chrome trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// ValidateChrome checks that data is well-formed Chrome trace-event
+// JSON as Perfetto's importer requires it: a traceEvents array whose
+// entries have a known phase, and whose "X" events carry non-negative
+// ts/dur and a name. It is the test-time stand-in for loading the file
+// in the Perfetto UI.
+func ValidateChrome(data []byte) error {
+	var t struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("trace: chrome trace is not valid JSON: %w", err)
+	}
+	if t.TraceEvents == nil {
+		return fmt.Errorf("trace: chrome trace has no traceEvents array")
+	}
+	sawSpan := false
+	for i, ev := range t.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			sawSpan = true
+			if ev.Name == "" {
+				return fmt.Errorf("trace: event %d: complete event without a name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d: negative ts/dur (%d/%d)", i, ev.Ts, ev.Dur)
+			}
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return fmt.Errorf("trace: event %d: unknown metadata record %q", i, ev.Name)
+			}
+			if name, ok := ev.Args["name"].(string); !ok || name == "" {
+				return fmt.Errorf("trace: event %d: metadata without args.name", i)
+			}
+		default:
+			return fmt.Errorf("trace: event %d: unsupported phase %q", i, ev.Ph)
+		}
+	}
+	if !sawSpan {
+		return fmt.Errorf("trace: chrome trace has no span events")
+	}
+	return nil
+}

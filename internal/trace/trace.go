@@ -1,0 +1,289 @@
+// Package trace is the streaming trace subsystem: a memsim event sink
+// that converts the raw per-operation event stream into per-process
+// span timelines — entry/CS/exit phase spans and per-Await spin spans,
+// each annotated with RMR counts, the variables touched, and
+// local-vs-remote classification — plus a flight recorder (a bounded
+// per-process ring of recent spans) and a Chrome trace-event exporter
+// whose output loads directly in Perfetto (ui.perfetto.dev).
+//
+// The RMR bounds the experiments reproduce are statements about
+// per-process access sequences; aggregate histograms cannot say which
+// process spun remotely, on which variable, in which phase. A span
+// timeline can, and a flight-recorder dump turns every invariant
+// violation, starvation timeout, or gate regression into an artifact
+// that is debuggable without a rerun.
+//
+// Recording is observation-only: it costs no simulated steps or RMRs
+// (the sink contract), so attaching a Recorder never changes measured
+// metrics — only wall-clock time.
+package trace
+
+import (
+	"sort"
+
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
+)
+
+// DefaultSpanLimit is the flight recorder's default per-process span
+// bound: enough to hold the last several critical-section attempts of
+// a process at typical span rates (~4 phase + a few spin spans per
+// entry) while keeping a 256-process sweep cell around a megabyte.
+const DefaultSpanLimit = 256
+
+// Recorder is a memsim.PhaseSink that builds span timelines. Attach
+// one per machine (memsim.Machine.AttachSink) before the run; read the
+// timeline with Spans or Artifact after it. A Recorder belongs to one
+// run: like the machine itself it is not safe for concurrent use, and
+// the sweep engine's per-cell plumbing (harness.Workload.Sink) keeps
+// each cell's recorder on that cell's worker.
+type Recorder struct {
+	// limit bounds retained spans per process (flight recorder);
+	// 0 or negative retains everything.
+	limit    int
+	procs    []*timeline
+	lastStep int64
+}
+
+// NewRecorder returns a recorder retaining at most limit spans per
+// process (the flight-recorder window); limit <= 0 retains the whole
+// run.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// timeline accumulates one process's spans.
+type timeline struct {
+	spans ring
+
+	// The open phase span (PhaseNCS = none).
+	phase      memsim.Phase
+	phaseStart int64
+	phaseRMRs  int64
+	phaseVars  varset
+
+	// The open spin span (nil = none).
+	spin *spanBuilder
+}
+
+// spanBuilder is an under-construction span.
+type spanBuilder struct {
+	start, last int64
+	rmrs        int64
+	vars        varset
+	remote      bool
+}
+
+// varset is a tiny insertion-ordered string set: the variables touched
+// inside one span are few, so linear membership checks beat a map and
+// keep emission order deterministic without sorting hashes.
+type varset []string
+
+func (s *varset) add(name string) {
+	for _, v := range *s {
+		if v == name {
+			return
+		}
+	}
+	*s = append(*s, name)
+}
+
+// sorted returns the set as a fresh sorted slice (nil when empty).
+func (s varset) sorted() []string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+// ring is a bounded span buffer; cap <= 0 means unbounded.
+type ring struct {
+	cap    int
+	spans  []obs.TraceSpan
+	next   int
+	filled bool
+}
+
+func (r *ring) push(s obs.TraceSpan) {
+	if r.cap <= 0 {
+		r.spans = append(r.spans, s)
+		return
+	}
+	if len(r.spans) < r.cap {
+		r.spans = append(r.spans, s)
+		r.next = len(r.spans) % r.cap
+		return
+	}
+	r.spans[r.next] = s
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+	}
+	r.filled = true
+}
+
+// all returns the retained spans, oldest first.
+func (r *ring) all() []obs.TraceSpan {
+	if r.cap <= 0 || !r.filled {
+		return append([]obs.TraceSpan(nil), r.spans...)
+	}
+	out := make([]obs.TraceSpan, 0, len(r.spans))
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out
+}
+
+func (r *Recorder) timeline(proc int) *timeline {
+	for len(r.procs) <= proc {
+		r.procs = append(r.procs, &timeline{
+			spans: ring{cap: r.limit},
+			phase: memsim.PhaseNCS,
+		})
+	}
+	return r.procs[proc]
+}
+
+// Record implements memsim.EventSink: every shared-memory operation
+// extends the acting process's open phase span, and spin re-checks
+// open/extend a nested spin span that the next non-spin operation
+// closes.
+func (r *Recorder) Record(ev memsim.TraceEvent) {
+	if ev.Step > r.lastStep {
+		r.lastStep = ev.Step
+	}
+	tl := r.timeline(ev.Proc)
+	if ev.Kind == memsim.TraceSpinRead {
+		if tl.spin == nil {
+			tl.spin = &spanBuilder{start: ev.Step, last: ev.Step}
+		}
+		tl.spin.last = ev.Step
+		tl.spin.vars.add(ev.Var)
+		if ev.Remote {
+			tl.spin.rmrs++
+			tl.spin.remote = true
+		}
+	} else if tl.spin != nil {
+		r.closeSpin(ev.Proc, tl, ev.Step)
+	}
+	if tl.phase != memsim.PhaseNCS {
+		tl.phaseVars.add(ev.Var)
+		if ev.Remote {
+			tl.phaseRMRs++
+		}
+	}
+}
+
+// RecordPhase implements memsim.PhaseSink: a transition closes the
+// open spin and phase spans and opens the next phase span.
+func (r *Recorder) RecordPhase(ev memsim.PhaseEvent) {
+	if ev.Step > r.lastStep {
+		r.lastStep = ev.Step
+	}
+	tl := r.timeline(ev.Proc)
+	if tl.spin != nil {
+		r.closeSpin(ev.Proc, tl, ev.Step)
+	}
+	r.closePhase(ev.Proc, tl, ev.Step)
+	tl.phase = ev.To
+	tl.phaseStart = ev.Step
+	tl.phaseRMRs = 0
+	tl.phaseVars = nil
+}
+
+// closeSpin emits the open spin span, ending it just after its last
+// re-check (spans are half-open) but never past the closing step.
+func (r *Recorder) closeSpin(proc int, tl *timeline, step int64) {
+	end := tl.spin.last + 1
+	if step > 0 && step < end {
+		end = step
+	}
+	if end <= tl.spin.start {
+		end = tl.spin.start + 1
+	}
+	tl.spans.push(obs.TraceSpan{
+		Proc:   proc,
+		Kind:   "spin",
+		Start:  tl.spin.start,
+		End:    end,
+		RMRs:   tl.spin.rmrs,
+		Vars:   tl.spin.vars.sorted(),
+		Remote: tl.spin.remote,
+	})
+	tl.spin = nil
+}
+
+// closePhase emits the open phase span, if any. NCS intervals are the
+// timeline's gaps, not spans.
+func (r *Recorder) closePhase(proc int, tl *timeline, step int64) {
+	if tl.phase == memsim.PhaseNCS {
+		return
+	}
+	end := step
+	if end <= tl.phaseStart {
+		end = tl.phaseStart + 1
+	}
+	tl.spans.push(obs.TraceSpan{
+		Proc:  proc,
+		Kind:  tl.phase.String(),
+		Start: tl.phaseStart,
+		End:   end,
+		RMRs:  tl.phaseRMRs,
+		Vars:  tl.phaseVars.sorted(),
+	})
+}
+
+// Spans returns every retained span, canonically ordered. Spans still
+// open when the run ended (a process stuck mid-entry, an await that
+// never fired) are closed at the step after the last recorded event
+// and marked Open — the first thing to look at in a failure dump. The
+// recorder itself is not consumed: Spans can be called repeatedly.
+func (r *Recorder) Spans() []obs.TraceSpan {
+	var spans []obs.TraceSpan
+	end := r.lastStep + 1
+	for proc, tl := range r.procs {
+		spans = append(spans, tl.spans.all()...)
+		if tl.spin != nil {
+			sp := obs.TraceSpan{
+				Proc:   proc,
+				Kind:   "spin",
+				Start:  tl.spin.start,
+				End:    max(tl.spin.last+1, tl.spin.start+1),
+				RMRs:   tl.spin.rmrs,
+				Vars:   tl.spin.vars.sorted(),
+				Remote: tl.spin.remote,
+				Open:   true,
+			}
+			spans = append(spans, sp)
+		}
+		if tl.phase != memsim.PhaseNCS {
+			spans = append(spans, obs.TraceSpan{
+				Proc:  proc,
+				Kind:  tl.phase.String(),
+				Start: tl.phaseStart,
+				End:   max(end, tl.phaseStart+1),
+				RMRs:  tl.phaseRMRs,
+				Vars:  tl.phaseVars.sorted(),
+				Open:  true,
+			})
+		}
+	}
+	a := obs.TraceArtifact{Spans: spans}
+	a.Sort()
+	return a.Spans
+}
+
+// Artifact packages the recorder's timeline as a fetchphi.trace/v1
+// artifact. kind is "recording" or "flight-recorder"; the workload
+// identity fields are the caller's (the recorder only sees process
+// ids).
+func (r *Recorder) Artifact(kind string) *obs.TraceArtifact {
+	return &obs.TraceArtifact{
+		Schema:    obs.TraceSchema,
+		Kind:      kind,
+		SpanLimit: max(r.limit, 0),
+		Steps:     r.lastStep,
+		Spans:     r.Spans(),
+	}
+}
