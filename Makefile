@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint build test race trace-smoke bench report baseline gate clean
+.PHONY: ci lint vet fetchphilint build test race trace-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite), build, tests, the race detector over the genuinely
-# concurrent packages, and the trace-pipeline smoke test.
-ci: lint build test race trace-smoke
+# concurrent packages, the trace-pipeline smoke test, and the
+# claims-conformance gate + smoke.
+ci: lint build test race trace-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint, the custom static-analysis
 # suite (awaitwatch, memsimpurity, determinism, phasebalance).
@@ -38,18 +39,42 @@ trace-smoke:
 	$(GO) run ./cmd/tracectl validate -in bench/current/traces/TRACE_smoke.json
 	$(GO) run ./cmd/tracectl convert -in bench/current/traces/TRACE_smoke.json -out bench/current/traces/TRACE_smoke.chrome.json
 
+# claims evaluates the paper-claims registry over the checked-in
+# bench/baseline artifacts (so it works on a fresh clone, with no
+# sweep) and gates against the checked-in verdicts: CI fails, naming
+# the claim, if any verdict flips from reproduced.
+claims:
+	$(GO) run ./cmd/claims -bench bench/baseline -out bench/current/CLAIMS.json -html bench/current/claims.html -baseline bench/baseline/CLAIMS.json
+
+# claims-smoke runs the full sweep → claims pipeline end to end on a
+# small live sweep (E1+E2; cmd/report evaluates claims over the output
+# automatically), then exercises the markdown table generator.
+claims-smoke:
+	$(GO) run ./cmd/report -experiments E1,E2 -quick -out bench/current/claims-smoke
+	$(GO) run ./cmd/claims -bench bench/current/claims-smoke -markdown > /dev/null
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-# report runs every experiment through the parallel sweep engine and
-# writes BENCH_<experiment>.json artifacts into bench/current.
+# sweep (alias: report) runs every experiment through the parallel
+# sweep engine and writes BENCH_<experiment>.json artifacts — plus the
+# claims artifact and HTML report — into bench/current.
+sweep: report
+
 report:
 	$(GO) run ./cmd/report -quick -out bench/current
 
-# baseline regenerates the checked-in gate baseline. Run it (and commit
-# the result) only after a deliberate performance change.
+# baseline regenerates the checked-in gate baselines (bench artifacts
+# and claims verdicts). Run it (and commit the result) only after a
+# deliberate performance or conclusion change.
 baseline:
-	$(GO) run ./cmd/report -quick -out bench/baseline
+	$(GO) run ./cmd/report -quick -out bench/baseline -claims=false
+	$(MAKE) baseline-claims
+
+# baseline-claims regenerates only bench/baseline/CLAIMS.json from the
+# checked-in bench artifacts.
+baseline-claims:
+	$(GO) run ./cmd/claims -bench bench/baseline -out bench/baseline/CLAIMS.json
 
 # gate re-runs the experiments and fails on any RMR regression against
 # the checked-in artifacts in bench/baseline — works out of the box on
@@ -57,5 +82,7 @@ baseline:
 gate:
 	$(GO) run ./cmd/report -quick -out bench/current -baseline bench/baseline
 
+# clean empties bench/current but keeps the directory (and its
+# self-ignoring .gitignore) in place.
 clean:
-	rm -rf bench/current
+	rm -rf bench/current/*

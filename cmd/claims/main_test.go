@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetchphi/internal/claims"
+	"fetchphi/internal/obs"
+)
+
+const baselineDir = "../../bench/baseline"
+
+func runArgs(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunAgainstBaseline(t *testing.T) {
+	code, stdout, stderr := runArgs(t, "-bench", baselineDir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, id := range []string{"lemma-1", "lemma-2", "theorem-1", "theorem-2", "rank-examples", "sec1-attributes"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("stdout lacks claim %s:\n%s", id, stdout)
+		}
+	}
+	if strings.Contains(stdout, string(claims.NotReproduced)) {
+		t.Errorf("baseline evaluation printed a not-reproduced verdict:\n%s", stdout)
+	}
+}
+
+func TestRunMarkdownIsPrintOnly(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "CLAIMS.json")
+	code, stdout, stderr := runArgs(t, "-bench", baselineDir, "-markdown", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "| claim | paper | measured | verdict |") {
+		t.Errorf("markdown output malformed:\n%s", stdout)
+	}
+	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+		t.Error("-markdown still wrote the artifact file")
+	}
+}
+
+func TestRunWritesArtifactAndHTML(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "CLAIMS.json")
+	htmlPath := filepath.Join(dir, "claims.html")
+	code, _, stderr := runArgs(t, "-bench", baselineDir, "-out", outPath, "-html", htmlPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	art, err := claims.ReadArtifact(outPath)
+	if err != nil {
+		t.Fatalf("written artifact unreadable: %v", err)
+	}
+	if art.BenchDir != baselineDir || art.CreatedBy != "cmd/claims" {
+		t.Errorf("artifact provenance: bench_dir=%q created_by=%q", art.BenchDir, art.CreatedBy)
+	}
+	doc, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatalf("written report unreadable: %v", err)
+	}
+	if !strings.Contains(string(doc), "<svg") {
+		t.Error("report has no figures")
+	}
+}
+
+func TestRunGatePasses(t *testing.T) {
+	code, stdout, stderr := runArgs(t, "-bench", baselineDir,
+		"-baseline", filepath.Join(baselineDir, claims.ArtifactFileName))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "claims gate passed") {
+		t.Errorf("stdout lacks gate confirmation:\n%s", stdout)
+	}
+}
+
+// TestRunGateFlipFails: a baseline recording a claim this evaluation
+// cannot produce must fail the gate, naming the claim.
+func TestRunGateFlipFails(t *testing.T) {
+	base, err := claims.ReadArtifact(filepath.Join(baselineDir, claims.ArtifactFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Claims = append(base.Claims, claims.ClaimResult{
+		ID: "phantom-claim", Verdict: claims.Reproduced,
+	})
+	basePath := filepath.Join(t.TempDir(), "CLAIMS.json")
+	if err := base.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runArgs(t, "-bench", baselineDir, "-baseline", basePath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "phantom-claim") {
+		t.Errorf("gate failure does not name the flipped claim:\n%s", stderr)
+	}
+}
+
+// TestRunNotReproducedFails: corrupt a measurement and the named claim
+// must take the exit code non-zero even without a baseline.
+func TestRunNotReproducedFails(t *testing.T) {
+	dir := t.TempDir()
+	arts, err := obs.ReadArtifactDir(baselineDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts {
+		if a.Experiment == "E2" {
+			a.Cells[0].NonLocalSpins = 9
+		}
+		if err := a.WriteFile(filepath.Join(dir, obs.ArtifactName(a.Experiment))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, _, stderr := runArgs(t, "-bench", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "lemma-2") {
+		t.Errorf("failure does not name the broken claim:\n%s", stderr)
+	}
+}
+
+// TestRunInconclusiveIsWarning: a bench dir with only some experiments
+// leaves the other claims inconclusive — warned, exit 0 (cmd/report
+// runs claims after partial sweeps).
+func TestRunInconclusiveIsWarning(t *testing.T) {
+	dir := t.TempDir()
+	arts, err := obs.ReadArtifactDir(baselineDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts {
+		if a.Experiment != "E1" {
+			continue
+		}
+		if err := a.WriteFile(filepath.Join(dir, obs.ArtifactName(a.Experiment))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, stdout, stderr := runArgs(t, "-bench", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "reproduced     lemma-1") {
+		t.Errorf("lemma-1 not reproduced from E1 alone:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "inconclusive") {
+		t.Errorf("missing inconclusive warnings:\n%s", stderr)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code, _, _ := runArgs(t, "-bench", filepath.Join(t.TempDir(), "nope")); code != 2 {
+		t.Errorf("missing bench dir: exit %d, want 2", code)
+	}
+	if code, _, _ := runArgs(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runArgs(t, "stray"); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	report [-experiments all|E1,E2,...] [-quick] [-seed N] [-workers W]
-//	       [-out dir] [-baseline dir] [-degrade F] [-flight SPANS] [-v]
+//	       [-out dir] [-baseline dir] [-degrade F] [-flight SPANS]
+//	       [-progress] [-claims=false] [-v]
 //
 // The simulation experiments run concurrently (each one shards its
 // cells across its own sweep-engine pool); wall-clock experiments
@@ -27,6 +28,14 @@
 // recorder's window is dumped to <out>/traces/TRACE_<cell>.json as a
 // fetchphi.trace/v1 artifact; convert it with `tracectl convert` and
 // load the result in Perfetto.
+//
+// After the sweep, the paper-claims registry (internal/claims) is
+// evaluated over the output directory's artifacts and written as
+// <out>/CLAIMS.json plus an HTML report <out>/claims.html; a
+// contradicted claim fails the run, claims whose experiments weren't
+// swept stay inconclusive. -claims=false skips this. -progress streams
+// per-cell sweep progress lines to stderr (observation-only: it never
+// changes measured metrics).
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"strings"
 	"sync"
 
+	"fetchphi/internal/claims"
 	"fetchphi/internal/experiments"
 	"fetchphi/internal/harness"
 	"fetchphi/internal/obs"
@@ -114,6 +124,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		baseline = fs.String("baseline", "", "directory of prior artifacts to gate against (empty = no gate)")
 		degrade  = fs.Float64("degrade", 1, "self-test: inflate recorded RMR metrics by this factor")
 		flight   = fs.Int("flight", trace.DefaultSpanLimit, "flight-recorder window in spans per process (0 = off)")
+		progress = fs.Bool("progress", false, "stream per-cell sweep progress to stderr")
+		doClaims = fs.Bool("claims", true, "evaluate the paper-claims registry over the output artifacts")
 		verbose  = fs.Bool("v", false, "print the rendered tables")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -166,6 +178,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			opts := experiments.Opts{
 				Quick: *quick, Seed: *seed, Workers: *workers,
 				Record: func(c obs.Cell) { art.Cells = append(art.Cells, c) },
+			}
+			if *progress {
+				// Stderr lines, mutex-serialized across the concurrent
+				// experiments and their sweep workers. Observation-only:
+				// TestSweepProgressObservationOnly proves the hook cannot
+				// change measured metrics.
+				opts.Progress = func(ev harness.ProgressEvent) {
+					if !ev.Start {
+						return
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					fmt.Fprintf(stderr, "progress: %s %d/%d running %s/%s N=%d seed=%d\n",
+						e.ID, ev.Done, ev.Total, ev.Cell.Algorithm,
+						ev.Cell.Workload.Model, ev.Cell.Workload.N, ev.Cell.Workload.Seed)
+				}
 			}
 			if fl != nil && !e.WallClock {
 				opts.Sink = fl.attach
@@ -313,8 +341,60 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Claims conformance: after every sweep, re-evaluate the paper-claims
+	// registry over whatever the output directory now holds and write the
+	// fetchphi.claims/v1 artifact + HTML report next to the bench
+	// artifacts. Claims whose experiments weren't swept stay
+	// inconclusive (a note, not a failure); a contradicted claim fails
+	// the run by name.
+	if *doClaims {
+		if bench, err := claims.LoadBenchDir(*out); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			failed = true
+		} else {
+			art := claims.Evaluate(bench)
+			art.CreatedBy = "cmd/report"
+			art.Commit = commit
+			art.BenchDir = *out
+			claimsPath := filepath.Join(*out, claims.ArtifactFileName)
+			htmlPath := filepath.Join(*out, "claims.html")
+			if err := art.WriteFile(claimsPath); err != nil {
+				fmt.Fprintf(stderr, "report: %v\n", err)
+				failed = true
+			} else if err := writeClaimsHTML(art, htmlPath); err != nil {
+				fmt.Fprintf(stderr, "report: %v\n", err)
+				failed = true
+			} else {
+				reproduced := 0
+				for _, c := range art.Claims {
+					switch c.Verdict {
+					case claims.Reproduced:
+						reproduced++
+					case claims.NotReproduced:
+						fmt.Fprintf(stderr, "report: claim %s NOT reproduced: %s\n", c.ID, c.Measured)
+						failed = true
+					case claims.Inconclusive:
+						fmt.Fprintf(stdout, "claims: %s inconclusive (%s)\n", c.ID, c.Measured)
+					}
+				}
+				fmt.Fprintf(stdout, "claims: %d/%d reproduced -> %s, %s\n",
+					reproduced, len(art.Claims), claimsPath, htmlPath)
+			}
+		}
+	}
+
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// writeClaimsHTML writes the claims report through a temp file +
+// rename, matching the artifact discipline.
+func writeClaimsHTML(art *claims.Artifact, path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, claims.HTML(art), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

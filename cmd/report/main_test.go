@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"fetchphi/internal/claims"
 	"fetchphi/internal/experiments"
 	"fetchphi/internal/obs"
 	"fetchphi/internal/trace"
@@ -121,6 +122,103 @@ func TestRunWritesArtifact(t *testing.T) {
 		if !c.WallClock {
 			t.Fatalf("E9 cell %s not marked wall-clock", c.Key())
 		}
+	}
+}
+
+// TestRunWritesClaimsArtifact: every sweep ends with a claims
+// evaluation over the output directory — E1 alone reproduces Lemma 1,
+// leaves the other claims inconclusive (notes, exit 0), and writes
+// both the fetchphi.claims/v1 artifact and the HTML report.
+func TestRunWritesClaimsArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	dir := t.TempDir()
+	code, stdout, stderr := runArgs("-experiments", "E1", "-quick", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	art, err := claims.ReadArtifact(filepath.Join(dir, claims.ArtifactFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := make(map[string]claims.Verdict, len(art.Claims))
+	for _, c := range art.Claims {
+		verdicts[c.ID] = c.Verdict
+	}
+	if verdicts["lemma-1"] != claims.Reproduced {
+		t.Fatalf("lemma-1 = %s from a quick E1 sweep, want reproduced", verdicts["lemma-1"])
+	}
+	if verdicts["lemma-2"] != claims.Inconclusive {
+		t.Fatalf("lemma-2 = %s without E2, want inconclusive", verdicts["lemma-2"])
+	}
+	if !strings.Contains(stdout, "claims:") {
+		t.Fatalf("stdout has no claims summary: %q", stdout)
+	}
+	html, err := os.ReadFile(filepath.Join(dir, "claims.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<svg") {
+		t.Fatal("claims.html has no figures")
+	}
+
+	// -claims=false skips the evaluation entirely.
+	dir2 := t.TempDir()
+	code, _, stderr = runArgs("-experiments", "E1", "-quick", "-claims=false", "-out", dir2)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, claims.ArtifactFileName)); !os.IsNotExist(err) {
+		t.Fatal("-claims=false still wrote CLAIMS.json")
+	}
+}
+
+// TestRunProgressStreams: -progress emits per-cell lines on stderr;
+// without the flag stderr stays silent. The artifacts must be
+// byte-identical either way — progress is observation-only.
+func TestRunProgressStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	quiet := t.TempDir()
+	code, _, stderr := runArgs("-experiments", "E1", "-quick", "-out", quiet)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(stderr, "progress:") {
+		t.Fatalf("progress lines without -progress:\n%s", stderr)
+	}
+
+	loud := t.TempDir()
+	code, _, stderr = runArgs("-experiments", "E1", "-quick", "-progress", "-out", loud)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	lines := 0
+	for _, l := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(l, "progress: E1 ") {
+			continue
+		}
+		lines++
+		if !strings.Contains(l, "/") || !strings.Contains(l, "running ") || !strings.Contains(l, "N=") {
+			t.Fatalf("malformed progress line: %q", l)
+		}
+	}
+	if lines == 0 {
+		t.Fatalf("-progress produced no progress lines:\n%s", stderr)
+	}
+
+	a, err := os.ReadFile(filepath.Join(quiet, obs.ArtifactName("E1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(loud, obs.ArtifactName("E1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("-progress changed the written artifact")
 	}
 }
 

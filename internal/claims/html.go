@@ -1,0 +1,271 @@
+package claims
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"fetchphi/internal/fit"
+)
+
+// HTML renders the artifact as a self-contained single-file report:
+// the claim table with verdict chips, then one section per claim with
+// its predicate lines and an inline SVG figure per evidence series —
+// measured points plus the fitted growth curve overlaid.
+//
+// The output is well-formed XML (XHTML-style: every element closed,
+// no named entities beyond the XML five, all text escaped) so the
+// test suite can machine-check it with encoding/xml. Rendering is
+// deterministic: claims and series arrive canonically sorted and all
+// numbers use fixed-width formatting.
+func HTML(a *Artifact) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n")
+	b.WriteString(`<html lang="en"><head><meta charset="utf-8"/>` + "\n")
+	b.WriteString(`<meta name="viewport" content="width=device-width, initial-scale=1"/>` + "\n")
+	b.WriteString("<title>fetchphi claims conformance</title>\n")
+	b.WriteString("<style>\n" + reportCSS + "</style>\n</head>\n<body>\n")
+
+	b.WriteString("<h1>Claims conformance report</h1>\n")
+	b.WriteString(`<p class="meta">`)
+	b.WriteString(html.EscapeString(a.Schema))
+	if a.Commit != "" {
+		b.WriteString(" · commit " + html.EscapeString(a.Commit))
+	}
+	if a.BenchDir != "" {
+		b.WriteString(" · bench " + html.EscapeString(a.BenchDir))
+	}
+	if a.CreatedBy != "" {
+		b.WriteString(" · " + html.EscapeString(a.CreatedBy))
+	}
+	b.WriteString("</p>\n")
+
+	writeSummaryTable(&b, a)
+	for i := range a.Claims {
+		writeClaimSection(&b, &a.Claims[i])
+	}
+
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// verdictChip renders a verdict as icon + label (never color alone).
+func verdictChip(v Verdict) string {
+	switch v {
+	case Reproduced:
+		return `<span class="chip good">✓ reproduced</span>`
+	case NotReproduced:
+		return `<span class="chip bad">✕ not reproduced</span>`
+	}
+	return `<span class="chip unknown">? inconclusive</span>`
+}
+
+func writeSummaryTable(b *strings.Builder, a *Artifact) {
+	b.WriteString("<table>\n<thead><tr><th>claim</th><th>paper</th><th>measured</th><th>verdict</th></tr></thead>\n<tbody>\n")
+	for _, c := range a.Claims {
+		fmt.Fprintf(b, `<tr><td><a href="#%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td></tr>`,
+			html.EscapeString(c.ID), html.EscapeString(c.Title),
+			html.EscapeString(c.Paper), html.EscapeString(c.Measured), verdictChip(c.Verdict))
+		b.WriteString("\n")
+	}
+	b.WriteString("</tbody>\n</table>\n")
+}
+
+func writeClaimSection(b *strings.Builder, c *ClaimResult) {
+	fmt.Fprintf(b, `<h2 id="%s">%s %s</h2>`+"\n",
+		html.EscapeString(c.ID), html.EscapeString(c.Title), verdictChip(c.Verdict))
+	fmt.Fprintf(b, `<p class="meta">paper: %s · evidence: %s</p>`+"\n",
+		html.EscapeString(c.Paper), html.EscapeString(strings.Join(c.Experiments, ", ")))
+	fmt.Fprintf(b, "<p>%s</p>\n", html.EscapeString(c.Measured))
+	if len(c.Details) > 0 {
+		b.WriteString("<ul>\n")
+		for _, d := range c.Details {
+			cls := "ok"
+			switch {
+			case strings.HasPrefix(d, "FAIL"):
+				cls = "bad"
+			case strings.HasPrefix(d, "MISSING"):
+				cls = "unknown"
+			case strings.HasPrefix(d, "note"):
+				cls = "note"
+			}
+			fmt.Fprintf(b, `<li class="%s">%s</li>`+"\n", cls, html.EscapeString(d))
+		}
+		b.WriteString("</ul>\n")
+	}
+	if len(c.Series) > 0 {
+		b.WriteString(`<div class="figures">` + "\n")
+		for i := range c.Series {
+			writeSeriesFigure(b, &c.Series[i])
+		}
+		b.WriteString("</div>\n")
+	}
+}
+
+// Figure geometry.
+const (
+	figW, figH   = 420, 230
+	padL, padR   = 52, 14
+	padT, padB   = 14, 34
+	curveSamples = 48
+)
+
+// writeSeriesFigure draws one series: measured points and polyline in
+// the series-1 color, the fitted curve as a dashed series-2 path, a
+// legend naming both, log₂-scaled N on x.
+func writeSeriesFigure(b *strings.Builder, s *SeriesFit) {
+	if len(s.Points) == 0 {
+		return
+	}
+	minN, maxN := s.Points[0].N, s.Points[len(s.Points)-1].N
+	maxY := 0.0
+	for _, p := range s.Points {
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	model, modelErr := fit.ParseModel(s.Best)
+	evalFit := func(n float64) float64 { return s.A + s.B*model.X(n) }
+	if modelErr == nil {
+		for x := 0; x <= curveSamples; x++ {
+			n := sampleN(minN, maxN, x)
+			if y := evalFit(n); y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+
+	xOf := func(n float64) float64 {
+		if maxN == minN {
+			return padL + (figW-padL-padR)/2
+		}
+		frac := (math.Log2(n) - math.Log2(float64(minN))) / (math.Log2(float64(maxN)) - math.Log2(float64(minN)))
+		return padL + frac*(figW-padL-padR)
+	}
+	yOf := func(y float64) float64 {
+		return figH - padB - y/maxY*(figH-padT-padB)
+	}
+
+	fmt.Fprintf(b, `<figure><figcaption>%s — %s`, html.EscapeString(s.Name), html.EscapeString(s.Metric))
+	if s.Expect != "" {
+		fmt.Fprintf(b, ` (paper: %s)`, html.EscapeString(s.Expect))
+	}
+	b.WriteString("</figcaption>\n")
+	fmt.Fprintf(b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="%s">`+"\n",
+		figW, figH, figW, figH, html.EscapeString(s.Name+" "+s.Metric+" vs N"))
+
+	// Recessive grid + y ticks at 0, ½, max of the displayed range.
+	for _, frac := range []float64{0, 0.5, 1} {
+		v := frac * maxY
+		y := yOf(v)
+		fmt.Fprintf(b, `<line class="grid" x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`+"\n", padL, y, figW-padR, y)
+		fmt.Fprintf(b, `<text class="tick" x="%d" y="%.1f" text-anchor="end">%.0f</text>`+"\n", padL-6, y+4, v)
+	}
+	// X ticks at the measured Ns.
+	for _, p := range s.Points {
+		x := xOf(float64(p.N))
+		fmt.Fprintf(b, `<text class="tick" x="%.1f" y="%d" text-anchor="middle">%d</text>`+"\n", x, figH-padB+16, p.N)
+	}
+	fmt.Fprintf(b, `<text class="tick" x="%d" y="%d" text-anchor="middle">N</text>`+"\n", figW-padR, figH-padB+16)
+
+	// Fitted curve: dashed, sampled densely in log-N space.
+	if modelErr == nil && maxN > minN {
+		var path strings.Builder
+		for x := 0; x <= curveSamples; x++ {
+			n := sampleN(minN, maxN, x)
+			cmd := "L"
+			if x == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f", cmd, xOf(n), yOf(evalFit(n)))
+		}
+		fmt.Fprintf(b, `<path class="fitline" d="%s"/>`+"\n", path.String())
+	}
+
+	// Measured polyline + markers, each with a tooltip.
+	var poly strings.Builder
+	for i, p := range s.Points {
+		if i > 0 {
+			poly.WriteString(" ")
+		}
+		fmt.Fprintf(&poly, "%.1f,%.1f", xOf(float64(p.N)), yOf(p.Y))
+	}
+	if len(s.Points) > 1 {
+		fmt.Fprintf(b, `<polyline class="measured" points="%s"/>`+"\n", poly.String())
+	}
+	for _, p := range s.Points {
+		fmt.Fprintf(b, `<circle class="pt" cx="%.1f" cy="%.1f" r="3.5"><title>N=%d: %.1f</title></circle>`+"\n",
+			xOf(float64(p.N)), yOf(p.Y), p.N, p.Y)
+	}
+
+	// Legend: two series ⇒ always present.
+	lx, ly := padL+8, padT+6
+	fmt.Fprintf(b, `<circle class="pt" cx="%d" cy="%d" r="3.5"/><text class="legend" x="%d" y="%d">measured</text>`+"\n",
+		lx, ly, lx+8, ly+4)
+	fmt.Fprintf(b, `<line class="fitline" x1="%d" y1="%d" x2="%d" y2="%d"/><text class="legend" x="%d" y="%d">fit: %s</text>`+"\n",
+		lx-4, ly+16, lx+4, ly+16, lx+8, ly+20, html.EscapeString(s.Best))
+
+	b.WriteString("</svg>\n")
+	fmt.Fprintf(b, `<p class="meta">best fit: %s (R² %.2f, margin %.2f`,
+		html.EscapeString(s.Best), s.R2, s.Margin)
+	if s.Flat {
+		b.WriteString("; flat guard applied")
+	}
+	b.WriteString(")</p>\n</figure>\n")
+}
+
+// sampleN interpolates sample x of curveSamples in log-N space.
+func sampleN(minN, maxN, x int) float64 {
+	if maxN == minN {
+		return float64(minN)
+	}
+	lo, hi := math.Log2(float64(minN)), math.Log2(float64(maxN))
+	return math.Exp2(lo + (hi-lo)*float64(x)/curveSamples)
+}
+
+// reportCSS: the validated default palette (series-1 blue, series-2
+// orange, reserved status colors), light and dark surfaces via CSS
+// custom properties. Identity is never color-alone: verdict chips
+// carry icon + label, figures carry a legend. No "<" or "&" below —
+// the stylesheet must stay XML-safe.
+const reportCSS = `
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+  --grid: #e4e3e0; --series-1: #2a78d6; --series-2: #eb6834;
+  --good: #008300; --bad: #e34948; --chip-ink: #ffffff;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #f1f0ee; --ink-2: #b4b2ad;
+    --grid: #3a3936; --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta { color: var(--ink-2); font-size: 0.85rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { text-align: left; padding: 0.4rem 0.6rem; border-bottom: 1px solid var(--grid); vertical-align: top; }
+th { color: var(--ink-2); font-weight: 600; }
+a { color: var(--series-1); }
+.chip { border-radius: 4px; padding: 0.1rem 0.45rem; font-size: 0.8rem; white-space: nowrap; color: var(--chip-ink); }
+.chip.good { background: var(--good); }
+.chip.bad { background: var(--bad); }
+.chip.unknown { background: var(--ink-2); }
+ul { font-size: 0.85rem; color: var(--ink-2); }
+li.bad { color: var(--bad); }
+.figures { display: flex; flex-wrap: wrap; gap: 1rem; }
+figure { margin: 0; }
+figcaption { font-size: 0.85rem; color: var(--ink-2); margin-bottom: 0.25rem; }
+svg { background: var(--surface); }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick, .legend { fill: var(--ink-2); font-size: 11px; }
+.measured { fill: none; stroke: var(--series-1); stroke-width: 2; }
+.pt { fill: var(--series-1); stroke: var(--surface); stroke-width: 2; }
+.fitline { fill: none; stroke: var(--series-2); stroke-width: 2; stroke-dasharray: 5 4; }
+`

@@ -1,0 +1,82 @@
+package claims
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+)
+
+// requireWellFormed machine-checks the report: it is written as
+// XHTML-style XML precisely so this test can parse every element with
+// encoding/xml instead of eyeballing tag soup.
+func requireWellFormed(t *testing.T, doc []byte) {
+	t.Helper()
+	d := xml.NewDecoder(bytes.NewReader(doc))
+	for {
+		if _, err := d.Token(); err == io.EOF {
+			return
+		} else if err != nil {
+			t.Fatalf("report is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestHTMLReportWellFormed(t *testing.T) {
+	art := Evaluate(loadBaseline(t))
+	art.Commit = "deadbeef"
+	art.BenchDir = "bench/baseline"
+	art.CreatedBy = "claims_test"
+	requireWellFormed(t, HTML(art))
+}
+
+func TestHTMLReportContent(t *testing.T) {
+	art := Evaluate(loadBaseline(t))
+	doc := string(HTML(art))
+	for _, c := range Registry() {
+		if !strings.Contains(doc, c.Title) {
+			t.Errorf("report lacks claim title %q", c.Title)
+		}
+	}
+	if !strings.Contains(doc, "✓ reproduced") {
+		t.Error("report lacks an icon+label verdict chip")
+	}
+	if !strings.Contains(doc, "<svg") {
+		t.Error("report has no SVG figures")
+	}
+	if !strings.Contains(doc, `class="fitline"`) || !strings.Contains(doc, `class="measured"`) {
+		t.Error("figures lack the fitted-curve overlay or the measured series")
+	}
+	if !strings.Contains(doc, ">measured</text>") || !strings.Contains(doc, ">fit: ") {
+		t.Error("figures lack the two-series legend")
+	}
+	if !strings.Contains(doc, "prefers-color-scheme: dark") {
+		t.Error("report lacks the dark-mode palette")
+	}
+}
+
+// TestHTMLReportEscapes: hostile strings in artifact fields must not
+// break well-formedness or inject markup.
+func TestHTMLReportEscapes(t *testing.T) {
+	art := &Artifact{Schema: Schema, Claims: []ClaimResult{{
+		ID:          "lemma-1",
+		Title:       `<script>alert("x")</script>`,
+		Paper:       "a & b < c",
+		Experiments: []string{"E1"},
+		Verdict:     NotReproduced,
+		Measured:    `"quoted" & <tagged>`,
+		Details:     []string{`FAIL — worst > bound & "broken"`},
+	}}}
+	doc := HTML(art)
+	requireWellFormed(t, doc)
+	if strings.Contains(string(doc), "<script>") {
+		t.Fatal("unescaped markup leaked into the report")
+	}
+}
+
+// TestHTMLReportEmptyArtifact: no claims is a degenerate but legal
+// artifact; the report must still be well-formed.
+func TestHTMLReportEmptyArtifact(t *testing.T) {
+	requireWellFormed(t, HTML(&Artifact{Schema: Schema}))
+}

@@ -1,0 +1,35 @@
+package claims
+
+import (
+	"fmt"
+
+	"fetchphi/internal/obs"
+)
+
+// Bench is the claims engine's input: one bench artifact per
+// experiment id.
+type Bench map[string]*obs.Artifact
+
+// LoadBenchDir loads every fetchphi.bench/v1 artifact in dir, keyed
+// by experiment. Files carrying other schemas (trace dumps, a prior
+// CLAIMS.json living next to the baselines) are skipped by
+// obs.ReadArtifactDir — a bench directory is allowed to mix them.
+// Two artifacts claiming the same experiment are ambiguous evidence
+// and fail loudly.
+func LoadBenchDir(dir string) (Bench, error) {
+	arts, err := obs.ReadArtifactDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("claims: %w", err)
+	}
+	b := make(Bench, len(arts))
+	for _, a := range arts {
+		if a.Experiment == "" {
+			return nil, fmt.Errorf("claims: %s: bench artifact without an experiment id", dir)
+		}
+		if _, dup := b[a.Experiment]; dup {
+			return nil, fmt.Errorf("claims: %s: two bench artifacts for experiment %s", dir, a.Experiment)
+		}
+		b[a.Experiment] = a
+	}
+	return b, nil
+}

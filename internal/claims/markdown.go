@@ -1,0 +1,20 @@
+package claims
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the artifact as the "claim vs. measured" summary
+// table EXPERIMENTS.md embeds. The docs run `cmd/claims -markdown` to
+// regenerate the table, so a documented verdict is always one the
+// engine actually produced.
+func Markdown(a *Artifact) string {
+	var b strings.Builder
+	b.WriteString("| claim | paper | measured | verdict |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, c := range a.Claims {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", c.Title, c.Paper, c.Measured, c.Verdict)
+	}
+	return b.String()
+}

@@ -43,6 +43,11 @@ type Opts struct {
 	// before the sweep panics on it — the flight-recorder dump hook.
 	// Called sequentially, at most once per sweep.
 	OnFailure func(harness.CellResult)
+	// Progress, when non-nil, receives the sweep engine's per-cell
+	// start/completion events (the cmd/report -progress hook). Called
+	// concurrently from the sweep workers; observation-only — it cannot
+	// change any measured metric.
+	Progress harness.Progress
 }
 
 func (o Opts) ns(full []int) []int {
@@ -75,7 +80,7 @@ func (o Opts) sweep(cells []harness.Cell) []harness.Metrics {
 			cells[i].Workload.Sink = o.Sink(cells[i])
 		}
 	}
-	results := harness.Sweep(cells, o.Workers)
+	results := harness.SweepProgress(cells, o.Workers, o.Progress)
 	out := make([]harness.Metrics, len(results))
 	for i, r := range results {
 		if r.Err != nil {

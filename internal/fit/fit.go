@@ -1,0 +1,311 @@
+// Package fit classifies measured RMR-vs-N series against the
+// asymptotic growth shapes the paper claims: O(1), Θ(log_r N),
+// Θ(log N / log log N), and Θ(N). Each candidate model is fitted by
+// deterministic least squares on a transformed x-axis; the best model
+// is selected with explicit admissibility margins so a flat, noisy
+// curve can never be misclassified as logarithmic (a two-parameter
+// model always fits at least as tightly as a constant — the guard, not
+// the raw residual, is what makes the verdict honest).
+//
+// The package is pure arithmetic over its inputs — no clocks, no
+// randomness, no maps in output paths — so the same series always
+// produces the same classification, byte for byte. It is registered
+// with the determinism analyzer (internal/lint) like every other
+// result-path package.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is one candidate growth shape for a y-vs-N series.
+type Model int
+
+const (
+	// Constant models y = a (the paper's O(1) claims).
+	Constant Model = iota
+	// LogN models y = a + b·ln N (the arbitration tree's Θ(log_r N);
+	// the base r is absorbed into b).
+	LogN
+	// LogLogN models y = a + b·(ln N / ln ln N) (Algorithm T's
+	// Θ(log N / log log N)). The denominator is clamped to ≥ 1 so the
+	// transform stays finite and monotone for small N (ln ln N < 1
+	// for N < 16).
+	LogLogN
+	// Linear models y = a + b·N (the Θ(N) degradation of ticket-style
+	// locks).
+	Linear
+
+	numModels
+)
+
+// String names the model the way reports and artifacts spell it.
+func (m Model) String() string {
+	switch m {
+	case Constant:
+		return "constant"
+	case LogN:
+		return "log N"
+	case LogLogN:
+		return "log N / log log N"
+	case Linear:
+		return "linear"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// ParseModel inverts String (artifact round-trips).
+func ParseModel(s string) (Model, error) {
+	for m := Model(0); m < numModels; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fit: unknown model %q", s)
+}
+
+// Models returns every candidate, in selection-preference order
+// (simplest first: ties break toward the smaller model class).
+func Models() []Model {
+	return []Model{Constant, LogN, LogLogN, Linear}
+}
+
+// X transforms a process count into the model's regression axis.
+func (m Model) X(n float64) float64 {
+	switch m {
+	case Constant:
+		return 0
+	case LogN:
+		return math.Log(n)
+	case LogLogN:
+		ln := math.Log(n)
+		return ln / math.Max(1, math.Log(ln))
+	case Linear:
+		return n
+	}
+	return 0
+}
+
+// Point is one measured sample: the sweep's process count and the
+// metric under classification (typically worst RMR per entry).
+type Point struct {
+	N int     `json:"n"`
+	Y float64 `json:"y"`
+}
+
+// ModelFit is one candidate model's least-squares fit.
+type ModelFit struct {
+	// Model identifies the candidate.
+	Model Model `json:"-"`
+	// Name is the model's string form (what artifacts serialize).
+	Name string `json:"model"`
+	// A and B are the fitted intercept and slope: y ≈ A + B·X(N).
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	// SSE is the sum of squared residuals.
+	SSE float64 `json:"sse"`
+	// R2 is the coefficient of determination (1 for a perfect fit; a
+	// degenerate series with zero variance fits every model with R2 1).
+	R2 float64 `json:"r2"`
+}
+
+// Eval evaluates the fitted curve at process count n.
+func (f ModelFit) Eval(n float64) float64 {
+	return f.A + f.B*f.Model.X(n)
+}
+
+// Selection thresholds: a growth model (anything but Constant) is
+// admissible only when all three hold. They are exported so the
+// claims layer and DESIGN.md quote the same numbers.
+const (
+	// MinGrowthPoints is the fewest distinct N values that can
+	// support a growth verdict: with fewer, any two-parameter model
+	// interpolates the data exactly and the classification would be
+	// vacuous (quick sweeps with two N values always classify as
+	// constant).
+	MinGrowthPoints = 4
+	// GrowthR2 is the explanatory-power floor: the model must account
+	// for ≥ 90% of the series' variance.
+	GrowthR2 = 0.9
+	// GrowthRise is the substantiality floor: the fitted rise across
+	// the observed N range must be at least this fraction of the mean
+	// |y| — a statistically "significant" slope that moves the curve
+	// by a few percent is still a flat curve. (Genuine
+	// log N / log log N growth can rise as little as ~half its mean
+	// over a 2^12 range of N, so the floor sits well below that while
+	// staying an order of magnitude above percent-level drift.)
+	GrowthRise = 0.2
+)
+
+// Result is a series' classification: every candidate's fit plus the
+// selected best model and its margins.
+type Result struct {
+	// Points are the fitted samples, sorted by N.
+	Points []Point `json:"points"`
+	// Fits holds one entry per candidate model, in Models() order.
+	Fits []ModelFit `json:"fits"`
+	// Best is the selected model.
+	Best Model `json:"-"`
+	// BestName is Best's string form (what artifacts serialize).
+	BestName string `json:"best"`
+	// Flat reports that the admissibility guard forced Constant: some
+	// growth model had a smaller raw SSE (as two-parameter models
+	// almost always do) but failed the R²/rise/point-count gates.
+	Flat bool `json:"flat,omitempty"`
+	// Margin is the runner-up's SSE divided by the selected model's
+	// SSE over all candidates (clamped to [0, 1e6]). Values below 1
+	// only occur when Flat is set: an inadmissible growth model fit
+	// tighter than the constant the guard selected.
+	Margin float64 `json:"margin"`
+}
+
+// BestFit returns the selected model's fit.
+func (r Result) BestFit() ModelFit {
+	return r.Fits[int(r.Best)]
+}
+
+// Fit classifies a series. It errors on fewer than two points or a
+// non-positive N; otherwise it always returns a usable Result (the
+// guard degrades unclassifiable series to Constant rather than
+// failing).
+func Fit(points []Point) (Result, error) {
+	if len(points) < 2 {
+		return Result{}, fmt.Errorf("fit: need at least 2 points, have %d", len(points))
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	distinct := 1
+	for i := 1; i < len(pts); i++ {
+		if pts[i].N <= 0 {
+			return Result{}, fmt.Errorf("fit: non-positive N %d", pts[i].N)
+		}
+		if pts[i].N != pts[i-1].N {
+			distinct++
+		}
+	}
+	if pts[0].N <= 0 {
+		return Result{}, fmt.Errorf("fit: non-positive N %d", pts[0].N)
+	}
+
+	var meanY, meanAbsY float64
+	for _, p := range pts {
+		meanY += p.Y
+		meanAbsY += math.Abs(p.Y)
+	}
+	meanY /= float64(len(pts))
+	meanAbsY /= float64(len(pts))
+	var ssTot float64
+	for _, p := range pts {
+		ssTot += (p.Y - meanY) * (p.Y - meanY)
+	}
+
+	res := Result{Points: pts}
+	for _, m := range Models() {
+		res.Fits = append(res.Fits, leastSquares(m, pts, meanY, ssTot))
+	}
+
+	// Select: the constant model unless a growth model clears every
+	// admissibility gate, in which case the tightest admissible growth
+	// model (ties toward the simpler class, i.e. Models() order).
+	best := Constant
+	bestSSE := math.Inf(1)
+	anyGrowthTighter := false
+	for _, f := range res.Fits[1:] {
+		if f.SSE < res.Fits[Constant].SSE {
+			anyGrowthTighter = true
+		}
+		if !admissible(f, pts, distinct, meanAbsY) {
+			continue
+		}
+		if f.SSE < bestSSE {
+			best, bestSSE = f.Model, f.SSE
+		}
+	}
+	res.Best = best
+	res.BestName = best.String()
+	res.Flat = best == Constant && anyGrowthTighter
+	res.Margin = margin(res.Fits, best)
+	return res, nil
+}
+
+// admissible applies the growth gates to one candidate fit.
+func admissible(f ModelFit, pts []Point, distinct int, meanAbsY float64) bool {
+	if distinct < MinGrowthPoints {
+		return false
+	}
+	if f.B <= 0 || f.R2 < GrowthR2 {
+		return false
+	}
+	rise := f.B * (f.Model.X(float64(pts[len(pts)-1].N)) - f.Model.X(float64(pts[0].N)))
+	return rise >= GrowthRise*meanAbsY
+}
+
+// leastSquares fits y = a + b·X(N) for one model. The constant model
+// degenerates to the mean (b = 0). A series with zero variance is a
+// perfect fit for every model (R² = 1).
+func leastSquares(m Model, pts []Point, meanY, ssTot float64) ModelFit {
+	f := ModelFit{Model: m, Name: m.String()}
+	if m == Constant {
+		f.A = meanY
+		f.SSE = ssTot
+		if ssTot == 0 {
+			f.R2 = 1
+		}
+		return f
+	}
+	var meanX float64
+	for _, p := range pts {
+		meanX += m.X(float64(p.N))
+	}
+	meanX /= float64(len(pts))
+	var sxx, sxy float64
+	for _, p := range pts {
+		dx := m.X(float64(p.N)) - meanX
+		sxx += dx * dx
+		sxy += dx * (p.Y - meanY)
+	}
+	if sxx == 0 {
+		// Degenerate axis (all points at one N): the model reduces to
+		// the constant.
+		f.A = meanY
+		f.SSE = ssTot
+		if ssTot == 0 {
+			f.R2 = 1
+		}
+		return f
+	}
+	f.B = sxy / sxx
+	f.A = meanY - f.B*meanX
+	for _, p := range pts {
+		r := p.Y - f.Eval(float64(p.N))
+		f.SSE += r * r
+	}
+	if ssTot == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = 1 - f.SSE/ssTot
+	}
+	return f
+}
+
+// margin computes the runner-up SSE ratio for the selected model.
+func margin(fits []ModelFit, best Model) float64 {
+	runnerUp := math.Inf(1)
+	for _, f := range fits {
+		if f.Model != best && f.SSE < runnerUp {
+			runnerUp = f.SSE
+		}
+	}
+	bestSSE := fits[int(best)].SSE
+	const maxMargin = 1e6
+	if bestSSE <= 0 {
+		if runnerUp <= 0 {
+			return 1
+		}
+		return maxMargin
+	}
+	return math.Min(runnerUp/bestSSE, maxMargin)
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fetchphi/internal/obs"
 )
@@ -54,6 +55,28 @@ func (r CellResult) Record() obs.Cell {
 	}
 }
 
+// ProgressEvent is one sweep-progress notification: which cell, and
+// how far the sweep is. Start events fire as a cell begins (Done is
+// the count completed so far); completion events fire as it finishes
+// (Done includes it).
+type ProgressEvent struct {
+	// Cell is the cell starting or finishing.
+	Cell Cell
+	// Done is the number of completed cells at the time of the event.
+	Done int
+	// Total is the sweep's cell count.
+	Total int
+	// Start distinguishes cell-start from cell-completion events.
+	Start bool
+}
+
+// Progress receives sweep-progress events. Workers call it
+// concurrently; implementations synchronize their own output.
+// Progress is observation-only: it sees the sweep happen but cannot
+// influence any measured metric (the cells carry their own seeds and
+// machines), which TestSweepProgressObservationOnly pins down.
+type Progress func(ProgressEvent)
+
 // Sweep runs every cell and returns results in input order. Cells are
 // sharded across `workers` goroutines (0 or negative means
 // GOMAXPROCS); each cell builds its own machine and scheduler from the
@@ -62,6 +85,13 @@ func (r CellResult) Record() obs.Cell {
 // reported per cell, not short-circuited: callers decide whether one
 // failed cell poisons the sweep.
 func Sweep(cells []Cell, workers int) []CellResult {
+	return SweepProgress(cells, workers, nil)
+}
+
+// SweepProgress is Sweep with per-cell progress reporting: progress
+// (when non-nil) receives a start and a completion event for every
+// cell, with a shared atomic completion counter.
+func SweepProgress(cells []Cell, workers int, progress Progress) []CellResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -72,10 +102,21 @@ func Sweep(cells []Cell, workers int) []CellResult {
 	if len(cells) == 0 {
 		return results
 	}
+	var done atomic.Int64
+	runCell := func(i int) {
+		c := cells[i]
+		if progress != nil {
+			progress(ProgressEvent{Cell: c, Done: int(done.Load()), Total: len(cells), Start: true})
+		}
+		met, err := Run(c.Build, c.Workload)
+		results[i] = CellResult{Cell: c, Metrics: met, Err: err}
+		if progress != nil {
+			progress(ProgressEvent{Cell: c, Done: int(done.Add(1)), Total: len(cells)})
+		}
+	}
 	if workers <= 1 {
-		for i, c := range cells {
-			met, err := Run(c.Build, c.Workload)
-			results[i] = CellResult{Cell: c, Metrics: met, Err: err}
+		for i := range cells {
+			runCell(i)
 		}
 		return results
 	}
@@ -86,9 +127,7 @@ func Sweep(cells []Cell, workers int) []CellResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := cells[i]
-				met, err := Run(c.Build, c.Workload)
-				results[i] = CellResult{Cell: c, Metrics: met, Err: err}
+				runCell(i)
 			}
 		}()
 	}

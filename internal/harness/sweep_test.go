@@ -2,6 +2,7 @@ package harness
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"fetchphi/internal/memsim"
@@ -178,6 +179,70 @@ func TestSweepPerCellSinksIsolated(t *testing.T) {
 		if !reflect.DeepEqual(sinks[i].events, ref.events) {
 			t.Fatalf("cell %d: parallel-sweep sink diverged from serial run (%d vs %d events)",
 				i, len(sinks[i].events), len(ref.events))
+		}
+	}
+}
+
+// TestSweepProgressEvents: every cell produces exactly one start and
+// one completion event; the completion counter covers 1..Total with no
+// gaps, and the final event reports Total done.
+func TestSweepProgressEvents(t *testing.T) {
+	cells := sweepCells()
+	var mu sync.Mutex
+	starts, completes := 0, 0
+	seen := make(map[int]bool)
+	SweepProgress(cells, 8, func(ev ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Total != len(cells) {
+			t.Errorf("event total %d, want %d", ev.Total, len(cells))
+		}
+		if ev.Cell.Experiment != "TEST" {
+			t.Errorf("event cell lacks its identity: %+v", ev.Cell)
+		}
+		if ev.Start {
+			starts++
+			return
+		}
+		completes++
+		if ev.Done < 1 || ev.Done > len(cells) {
+			t.Errorf("completion count %d out of range", ev.Done)
+		}
+		if seen[ev.Done] {
+			t.Errorf("completion count %d reported twice", ev.Done)
+		}
+		seen[ev.Done] = true
+	})
+	if starts != len(cells) || completes != len(cells) {
+		t.Fatalf("%d starts, %d completions, want %d each", starts, completes, len(cells))
+	}
+	for i := 1; i <= len(cells); i++ {
+		if !seen[i] {
+			t.Fatalf("no completion event reported %d done", i)
+		}
+	}
+}
+
+// TestSweepProgressObservationOnly: attaching a progress callback
+// changes no measured metric — the -progress flag must be free when
+// you look at the numbers (the sink-isolation discipline, applied to
+// progress).
+func TestSweepProgressObservationOnly(t *testing.T) {
+	plain := Sweep(sweepCells(), 4)
+	var mu sync.Mutex
+	events := 0
+	observed := SweepProgress(sweepCells(), 4, func(ProgressEvent) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	})
+	if events == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Metrics, observed[i].Metrics) {
+			t.Fatalf("cell %d metrics changed when progress was attached:\nplain    %+v\nobserved %+v",
+				i, plain[i].Metrics, observed[i].Metrics)
 		}
 	}
 }

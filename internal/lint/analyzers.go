@@ -27,6 +27,8 @@ var DeterministicPackages = []string{
 	"internal/obs",
 	"internal/experiments",
 	"internal/trace",
+	"internal/fit",
+	"internal/claims",
 }
 
 // All returns the full analyzer suite in reporting order.

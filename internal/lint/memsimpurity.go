@@ -23,10 +23,10 @@ var MemsimPurity = &Analyzer{
 // bannedImports are the real-concurrency and nondeterminism packages
 // algorithm code must not reach for.
 var bannedImports = map[string]string{
-	"sync":        "real locks bypass the simulated memory and its RMR accounting",
-	"sync/atomic": "real atomics bypass the simulated memory and its RMR accounting",
-	"time":        "simulated processes have no clock; schedules must replay bit-identically",
-	"math/rand":   "randomness must come from the seeded scheduler, not the algorithm",
+	"sync":         "real locks bypass the simulated memory and its RMR accounting",
+	"sync/atomic":  "real atomics bypass the simulated memory and its RMR accounting",
+	"time":         "simulated processes have no clock; schedules must replay bit-identically",
+	"math/rand":    "randomness must come from the seeded scheduler, not the algorithm",
 	"math/rand/v2": "randomness must come from the seeded scheduler, not the algorithm",
 }
 

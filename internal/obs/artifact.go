@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Schema identifies the artifact format. Bump on incompatible changes;
@@ -161,6 +162,54 @@ func ReadArtifact(path string) (*Artifact, error) {
 		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, a.Schema, Schema)
 	}
 	return &a, nil
+}
+
+// ReadArtifactDir loads every fetchphi.bench/v1 artifact in dir.
+// Artifact directories legitimately mix schemas — bench artifacts
+// next to fetchphi.trace/v1 dumps and a fetchphi.claims/v1 verdict
+// file — so files whose schema tag differs are skipped, not errors.
+// Files that are not parseable JSON still fail loudly (a truncated
+// artifact must never be silently ignored). Artifacts come back
+// sorted by experiment id, then file name.
+func ReadArtifactDir(dir string) ([]*Artifact, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var arts []*Artifact
+	names := make(map[*Artifact]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("obs: %w", err)
+		}
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return nil, fmt.Errorf("obs: parse %s: %w", path, err)
+		}
+		if probe.Schema != Schema {
+			continue
+		}
+		var a Artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return nil, fmt.Errorf("obs: parse %s: %w", path, err)
+		}
+		arts = append(arts, &a)
+		names[&a] = e.Name()
+	}
+	sort.Slice(arts, func(i, j int) bool {
+		if arts[i].Experiment != arts[j].Experiment {
+			return arts[i].Experiment < arts[j].Experiment
+		}
+		return names[arts[i]] < names[arts[j]]
+	})
+	return arts, nil
 }
 
 // CellIndex maps cell keys to cells for cross-artifact comparison.

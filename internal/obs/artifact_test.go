@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -97,6 +98,93 @@ func TestReadArtifactRejectsWrongSchema(t *testing.T) {
 	}
 	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("expected schema error, got %v", err)
+	}
+}
+
+// TestReadArtifactDirMixedSchemas: artifact directories legitimately
+// hold bench artifacts next to fetchphi.trace/v1 dumps, a
+// fetchphi.claims/v1 verdict file, and non-JSON files. The directory
+// reader must load exactly the bench artifacts and skip the rest.
+func TestReadArtifactDirMixedSchemas(t *testing.T) {
+	dir := t.TempDir()
+	e1 := sampleArtifact()
+	if err := e1.WriteFile(filepath.Join(dir, ArtifactName("E1"))); err != nil {
+		t.Fatal(err)
+	}
+	e2 := sampleArtifact()
+	e2.Experiment = "E2"
+	for i := range e2.Cells {
+		e2.Cells[i].Experiment = "E2"
+	}
+	if err := e2.WriteFile(filepath.Join(dir, ArtifactName("E2"))); err != nil {
+		t.Fatal(err)
+	}
+	foreign := map[string]string{
+		"TRACE_E1.json": `{"schema": "fetchphi.trace/v1", "spans": []}`,
+		"CLAIMS.json":   `{"schema": "fetchphi.claims/v1", "claims": []}`,
+		"README.txt":    "not json at all",
+	}
+	for name, body := range foreign {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "traces"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	arts, err := ReadArtifactDir(dir)
+	if err != nil {
+		t.Fatalf("ReadArtifactDir on a mixed dir: %v", err)
+	}
+	if len(arts) != 2 {
+		t.Fatalf("loaded %d artifacts, want 2", len(arts))
+	}
+	if arts[0].Experiment != "E1" || arts[1].Experiment != "E2" {
+		t.Fatalf("artifacts not sorted by experiment: %s, %s", arts[0].Experiment, arts[1].Experiment)
+	}
+}
+
+// TestReadArtifactDirRejectsTruncatedJSON: unparseable JSON is a
+// corrupt artifact, never silently skipped.
+func TestReadArtifactDirRejectsTruncatedJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_E1.json"), []byte(`{"schema": "fetchphi.be`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifactDir(dir); err == nil {
+		t.Fatal("truncated JSON was silently skipped")
+	}
+}
+
+// TestGateOverMixedDir: the regression gate consumes directory reads,
+// so a baseline directory carrying trace and claims files must gate
+// exactly as a bench-only one does — including still catching a real
+// regression.
+func TestGateOverMixedDir(t *testing.T) {
+	dir := t.TempDir()
+	base := sampleArtifact()
+	if err := base.WriteFile(filepath.Join(dir, ArtifactName("E1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "CLAIMS.json"),
+		[]byte(`{"schema": "fetchphi.claims/v1", "claims": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := ReadArtifactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("loaded %d artifacts, want 1", len(arts))
+	}
+	if regs := Compare(arts[0], base, nil); len(regs) != 0 {
+		t.Fatalf("clean self-comparison regressed: %v", regs)
+	}
+	worse := sampleArtifact()
+	worse.Cells[0].WorstRMR *= 3
+	if regs := Compare(arts[0], worse, nil); len(regs) == 0 {
+		t.Fatal("gate over a dir-read baseline missed a 3x worst-RMR regression")
 	}
 }
 
