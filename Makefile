@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint build test race trace-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
+.PHONY: ci lint vet fetchphilint build test race trace-smoke explore-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite), build, tests, the race detector over the genuinely
-# concurrent packages, the trace-pipeline smoke test, and the
-# claims-conformance gate + smoke.
-ci: lint build test race trace-smoke claims claims-smoke
+# concurrent packages, the trace-pipeline smoke test, the sharded
+# model-checker smoke, and the claims-conformance gate + smoke.
+ci: lint build test race trace-smoke explore-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint, the custom static-analysis
 # suite (awaitwatch, memsimpurity, determinism, phasebalance).
@@ -25,10 +25,11 @@ test:
 	$(GO) test ./...
 
 # race covers the packages that use real goroutines: the native spin
-# locks, the parallel sweep engine in harness, and the obs artifact
-# layer it records into.
+# locks, the sharded explorer in memsim, the parallel sweep engine and
+# sharded checker in harness, and the obs artifact layer they record
+# into.
 race:
-	$(GO) test -race ./internal/nativelock/... ./internal/harness/... ./internal/obs/...
+	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/...
 
 # trace-smoke exercises the whole trace pipeline on a real workload:
 # record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
@@ -38,6 +39,16 @@ trace-smoke:
 	$(GO) run ./cmd/tracectl record -alg g-dsm -model DSM -n 4 -entries 3 -out bench/current/traces/TRACE_smoke.json
 	$(GO) run ./cmd/tracectl validate -in bench/current/traces/TRACE_smoke.json
 	$(GO) run ./cmd/tracectl convert -in bench/current/traces/TRACE_smoke.json -out bench/current/traces/TRACE_smoke.chrome.json
+
+# explore-smoke gates CI on the sharded model checker: exhaustive
+# preemption-bounded checks (K=2) of the paper's DSM algorithm and one
+# arbitration-tree construction, sharded across ≥4 workers, with the
+# coverage recorded as fetchphi.explore/v1 artifacts. -require-exhausted
+# turns a capped (and therefore inconclusive) exploration into a CI
+# failure.
+explore-smoke:
+	$(GO) run ./cmd/explore -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 4 -require-exhausted -out bench/current/explore/EXPLORE_g-dsm.json
+	$(GO) run ./cmd/explore -alg tree4 -n 2 -entries 2 -preemptions 2 -workers 4 -require-exhausted -out bench/current/explore/EXPLORE_tree4.json
 
 # claims evaluates the paper-claims registry over the checked-in
 # bench/baseline artifacts (so it works on a fresh clone, with no

@@ -263,38 +263,3 @@ func VerifyAdversarial(b Builder, n, entries int) error {
 	}
 	return nil
 }
-
-// Check model-checks small configurations of the algorithm with
-// preemption-bounded exhaustive exploration: every schedule of n
-// processes × entries CS entries with up to preemptions forced context
-// switches, on both models.
-func Check(b Builder, n, entries, preemptions, maxRuns int) error {
-	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
-		model := model
-		e := &memsim.Explorer{
-			Build: func() *memsim.Machine {
-				m := memsim.NewMachine(model, n)
-				alg := b(m)
-				for i := 0; i < n; i++ {
-					m.AddProc(fmt.Sprintf("p%d", i), func(p *memsim.Proc) {
-						for e := 0; e < entries; e++ {
-							alg.Acquire(p)
-							p.EnterCS()
-							p.ExitCS()
-							alg.Release(p)
-						}
-					})
-				}
-				return m
-			},
-			MaxPreemptions: preemptions,
-			MaxSteps:       1_000_000,
-			MaxRuns:        maxRuns,
-		}
-		res := e.Run()
-		if res.Err != nil {
-			return fmt.Errorf("harness: model %v, schedule %v (run %d): %w", model, res.FailingSchedule, res.Runs, res.Err)
-		}
-	}
-	return nil
-}

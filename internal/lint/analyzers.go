@@ -29,6 +29,7 @@ var DeterministicPackages = []string{
 	"internal/trace",
 	"internal/fit",
 	"internal/claims",
+	"cmd/explore",
 }
 
 // All returns the full analyzer suite in reporting order.

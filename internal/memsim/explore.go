@@ -1,6 +1,9 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // This file implements preemption-bounded systematic exploration in the
 // style of CHESS (Musuvathi & Qadeer): the scheduler runs
@@ -10,6 +13,18 @@ import "fmt"
 // polynomially-sized but empirically very effective slice of the
 // interleaving space, and suffices to *prove* properties of small
 // configurations relative to the bound.
+//
+// The schedule space is a tree: the root is the empty (purely
+// non-preemptive) schedule, and the children of a schedule extend it
+// with one preemption placed strictly after its last one, at a step
+// where an alternative process was runnable. Because Build is
+// deterministic, that tree is a fixed function of the machine — it
+// does not depend on the order it is walked in. The explorer walks it
+// wave by wave (all schedules with d preemptions before any with d+1),
+// which makes every wave an embarrassingly parallel batch: the waves
+// can be sharded across workers (see explore_shard.go) and merged by
+// canonical index, so the result is bit-identical to a sequential walk
+// regardless of worker timing.
 
 // Preemption forces a context switch to Proc just before the operation
 // at the given step index.
@@ -18,14 +33,44 @@ type Preemption struct {
 	Proc int
 }
 
+const (
+	// DefaultPreemptions is the preemption bound used when
+	// Explorer.MaxPreemptions is left zero.
+	DefaultPreemptions = 2
+
+	// ZeroPreemptions requests an explicitly non-preemptive
+	// exploration: only the single default schedule is run. It exists
+	// because MaxPreemptions keeps 0 as "use the default" so that
+	// zero-valued Explorers stay useful; without the sentinel an
+	// honest zero-preemption check would be impossible to request.
+	ZeroPreemptions = -1
+)
+
+// ExactPreemptions converts a user-facing preemption count k into the
+// Explorer.MaxPreemptions encoding, making k = 0 honest: it selects
+// ZeroPreemptions instead of silently falling back to
+// DefaultPreemptions. Negative k is clamped to zero preemptions.
+func ExactPreemptions(k int) int {
+	if k <= 0 {
+		return ZeroPreemptions
+	}
+	return k
+}
+
 // Explorer systematically explores the interleavings of a machine
 // built by Build, up to MaxPreemptions forced context switches per run.
 type Explorer struct {
 	// Build constructs a fresh machine: allocate variables, add
 	// processes. Called once per explored schedule; it must be
-	// deterministic.
+	// deterministic, and when Workers > 1 it is called from several
+	// goroutines at once, so it must not close over shared mutable
+	// state.
 	Build func() *Machine
-	// MaxPreemptions is the preemption bound K (default 2).
+	// MaxPreemptions is the preemption bound K: positive values bound
+	// the forced context switches per run, 0 selects
+	// DefaultPreemptions, and ZeroPreemptions (the value
+	// ExactPreemptions(0) returns) requests a purely non-preemptive
+	// exploration of the single default schedule.
 	MaxPreemptions int
 	// MaxSteps bounds each individual run (default DefaultMaxSteps).
 	MaxSteps int64
@@ -35,8 +80,38 @@ type Explorer struct {
 	// Check, if non-nil, is invoked after every successful run; a
 	// non-nil error fails the exploration with that run's schedule.
 	// Use it to verify properties beyond the built-in safety checks
-	// (e.g. FIFO ordering).
+	// (e.g. FIFO ordering). When Workers > 1 it is called
+	// concurrently from the wave workers and must be safe for that.
 	Check func(Result) error
+	// Workers shards each wave of schedules across this many
+	// goroutines, each owning a disjoint slice of the frontier and
+	// stealing from the others as it drains (see explore_shard.go).
+	// Values <= 1 select the sequential reference path. The merge is
+	// canonical, so Runs, Exhausted, DepthRuns, and FailingSchedule
+	// are bit-identical across worker counts.
+	Workers int
+	// Progress, if non-nil, observes the exploration: it fires as
+	// each wave starts and, when ProgressEvery > 0, every
+	// ProgressEvery completed runs within a wave. Observation-only —
+	// it cannot influence the result — and called concurrently from
+	// wave workers, so implementations synchronize their own output.
+	Progress func(ExploreProgress)
+	// ProgressEvery is the intra-wave Progress cadence in runs
+	// (0 disables intra-wave events; wave starts always fire).
+	ProgressEvery int
+}
+
+// ExploreProgress is one exploration-progress notification.
+type ExploreProgress struct {
+	// Depth is the preemption depth (wave index) being explored.
+	Depth int
+	// Frontier is the number of schedules in the current wave.
+	Frontier int
+	// Runs is the number of schedules executed so far, including
+	// completed prior waves. For intra-wave events the count is a
+	// point-in-time atomic snapshot, so its timing (not its final
+	// value) varies across worker schedules.
+	Runs int
 }
 
 // ExploreResult reports the outcome of an exploration.
@@ -46,11 +121,18 @@ type ExploreResult struct {
 	// Err is the first failure found (violation, deadlock, or step
 	// bound), nil if every explored schedule passed.
 	Err error
-	// FailingSchedule reproduces the failure via ReplaySchedule.
+	// FailingSchedule reproduces the failure via ReplaySchedule. It is
+	// the canonically smallest failing schedule in the explored space:
+	// fewest preemptions first, then lexicographically smallest by
+	// (Step, Proc) — identical whatever Workers was.
 	FailingSchedule []Preemption
 	// Exhausted is true iff the entire preemption-bounded schedule
 	// space was covered within MaxRuns.
 	Exhausted bool
+	// DepthRuns is the number of schedules executed at each preemption
+	// depth: DepthRuns[d] is the size of wave d (truncated when
+	// MaxRuns was hit mid-wave). Its sum equals Runs.
+	DepthRuns []int
 }
 
 // chooser is the Scheduler that realizes one preemption schedule over
@@ -111,63 +193,115 @@ func contains(xs []int, x int) bool {
 	return false
 }
 
-// Run explores the preemption-bounded schedule space, stopping at the
-// first failure.
+// waveResult is one schedule's outcome within a wave: its failure, if
+// any, and the child schedules it spawns for the next wave.
+type waveResult struct {
+	err      error
+	children [][]Preemption
+}
+
+// runOne executes one schedule against a fresh machine and, unless the
+// schedule already sits at the preemption bound, derives its children:
+// one new preemption strictly after the current last one, to every
+// alternative runnable process, in (step, proc) order. That ordering —
+// together with waves listing children in parent order — is what makes
+// a wave's index order the canonical (shortest, then lexicographic)
+// order on schedules.
+func (e *Explorer) runOne(sched []Preemption, maxPre int) waveResult {
+	ch := &chooser{preemptions: sched}
+	if n := len(sched); n > 0 {
+		ch.traceFrom = sched[n-1].Step + 1
+	}
+	expand := len(sched) < maxPre
+	if !expand {
+		// The deepest wave is the bulk of the space and generates no
+		// children; skip choice recording entirely there.
+		ch.traceFrom = math.MaxInt64
+	}
+	m := e.Build()
+	r := m.Run(RunConfig{Sched: ch, MaxSteps: e.MaxSteps})
+	wr := waveResult{err: r.Err()}
+	if wr.err == nil && e.Check != nil {
+		wr.err = e.Check(r)
+	}
+	if wr.err != nil || !expand {
+		return wr
+	}
+	for _, cp := range ch.choices {
+		for _, alt := range cp.runnable {
+			if alt == cp.chosen {
+				continue
+			}
+			child := make([]Preemption, len(sched)+1)
+			copy(child, sched)
+			child[len(sched)] = Preemption{Step: cp.step, Proc: alt}
+			wr.children = append(wr.children, child)
+		}
+	}
+	return wr
+}
+
+// Run explores the preemption-bounded schedule space wave by wave,
+// stopping after the first wave that contains a failure. The reported
+// failure is the canonically smallest failing schedule; Runs,
+// Exhausted, and DepthRuns are bit-identical for every Workers value
+// because each wave is either executed in full or truncated to a
+// canonical prefix when MaxRuns lands inside it.
 func (e *Explorer) Run() ExploreResult {
 	maxPre := e.MaxPreemptions
-	if maxPre < 0 {
+	switch {
+	case maxPre < 0:
 		maxPre = 0
-	} else if e.MaxPreemptions == 0 {
-		maxPre = 2
+	case maxPre == 0:
+		maxPre = DefaultPreemptions
 	}
 	maxRuns := e.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = 200_000
 	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
-	// Depth-first over schedules; each stack entry is a preemption
-	// list to execute.
-	stack := [][]Preemption{nil}
 	var res ExploreResult
-	for len(stack) > 0 {
+	wave := [][]Preemption{nil}
+	for depth := 0; len(wave) > 0; depth++ {
 		if res.Runs >= maxRuns {
-			return res // not exhausted
+			return res // cap hit with work left: not exhausted
 		}
-		sched := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.Runs++
-
-		ch := &chooser{preemptions: sched}
-		if n := len(sched); n > 0 {
-			ch.traceFrom = sched[n-1].Step + 1
+		truncated := false
+		if remaining := maxRuns - res.Runs; len(wave) > remaining {
+			// Run the canonical prefix of the wave, so the set of
+			// schedules executed under the cap is deterministic too.
+			wave = wave[:remaining]
+			truncated = true
 		}
-		m := e.Build()
-		r := m.Run(RunConfig{Sched: ch, MaxSteps: e.MaxSteps})
-		err := r.Err()
-		if err == nil && e.Check != nil {
-			err = e.Check(r)
+		if e.Progress != nil {
+			e.Progress(ExploreProgress{Depth: depth, Frontier: len(wave), Runs: res.Runs})
 		}
-		if err != nil {
-			res.Err = err
-			res.FailingSchedule = sched
-			return res
-		}
-		if len(sched) >= maxPre {
-			continue
-		}
-		// Children: add one preemption strictly after the current
-		// last one, to every alternative runnable process.
-		for _, cp := range ch.choices {
-			for _, alt := range cp.runnable {
-				if alt == cp.chosen {
-					continue
-				}
-				child := make([]Preemption, len(sched)+1)
-				copy(child, sched)
-				child[len(sched)] = Preemption{Step: cp.step, Proc: alt}
-				stack = append(stack, child)
+		out := e.runWave(wave, depth, res.Runs, maxPre, workers)
+		res.Runs += len(wave)
+		res.DepthRuns = append(res.DepthRuns, len(wave))
+		// Canonical merge: the wave is in canonical order and was run
+		// to completion, so the first failing index is the canonically
+		// smallest failing schedule no matter which worker ran it —
+		// and any failure in a deeper wave is canonically larger.
+		for i := range out {
+			if out[i].err != nil {
+				res.Err = out[i].err
+				res.FailingSchedule = wave[i]
+				return res
 			}
 		}
+		if truncated {
+			return res
+		}
+		var next [][]Preemption
+		for i := range out {
+			next = append(next, out[i].children...)
+		}
+		wave = next
 	}
 	res.Exhausted = true
 	return res

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ExploreSchema identifies the model-check capacity artifact format
+// written by cmd/explore: how much of an algorithm's preemption-bounded
+// schedule space was covered, per memory model. Like bench and claims
+// artifacts, explore artifacts make a CI capability (here: model-check
+// throughput and exhaustion) a tracked, diffable record instead of a
+// log line.
+const ExploreSchema = "fetchphi.explore/v1"
+
+// ExploreArtifactName returns the canonical file name for an
+// algorithm's exploration artifact (EXPLORE_g-dsm.json, ...).
+// Algorithm names may contain '/' (primitive variants like "g-cc/fas"),
+// which is flattened so the name stays a single path element.
+func ExploreArtifactName(algorithm string) string {
+	return fmt.Sprintf("EXPLORE_%s.json", strings.ReplaceAll(algorithm, "/", "-"))
+}
+
+// ExploreArtifact is one model-check run's persistent record: the
+// configuration, and per memory model the coverage the explorer
+// achieved. All fields except the wall-clock ones are bit-reproducible
+// for a given configuration and commit.
+type ExploreArtifact struct {
+	// Schema is always the ExploreSchema constant.
+	Schema string `json:"schema"`
+	// Algorithm is the registry name of the algorithm checked.
+	Algorithm string `json:"algorithm"`
+	// CreatedBy names the tool that wrote the artifact.
+	CreatedBy string `json:"created_by,omitempty"`
+	// Commit is the repository commit, when known.
+	Commit string `json:"commit,omitempty"`
+	// N, Entries, Preemptions, MaxRuns are the check configuration.
+	// Preemptions is the literal bound: 0 really means a
+	// non-preemptive check.
+	N           int `json:"n"`
+	Entries     int `json:"entries"`
+	Preemptions int `json:"preemptions"`
+	MaxRuns     int `json:"max_runs"`
+	// Workers is the wave-shard worker count the check ran with
+	// (informational: results are identical for every value).
+	Workers int `json:"workers"`
+	// Models holds one entry per memory model, in check order.
+	Models []ExploreModel `json:"models"`
+	// WallMS is the end-to-end wall-clock time in milliseconds.
+	// Nondeterministic by nature; comparisons should treat it like
+	// the bench artifacts' wall-clock cells.
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// SchedulesPerSec is total runs divided by wall time —
+	// the model-check throughput headline. Nondeterministic.
+	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+}
+
+// ExploreModel is one memory model's coverage record.
+type ExploreModel struct {
+	// Model is the memory model name (CC, DSM, ...).
+	Model string `json:"model"`
+	// Runs is the number of schedules executed.
+	Runs int `json:"runs"`
+	// Exhausted is true iff the whole preemption-bounded space fit
+	// within MaxRuns.
+	Exhausted bool `json:"exhausted"`
+	// DepthRuns is the schedules executed per preemption depth; its
+	// sum equals Runs.
+	DepthRuns []int `json:"depth_runs"`
+	// Failure is the failing run's error, empty when the model passed.
+	Failure string `json:"failure,omitempty"`
+	// FailingSchedule reproduces the failure (memsim replay), present
+	// only with Failure. It is the canonically smallest failing
+	// schedule.
+	FailingSchedule []ExplorePreemption `json:"failing_schedule,omitempty"`
+}
+
+// ExplorePreemption is the artifact form of one forced context switch.
+type ExplorePreemption struct {
+	Step int64 `json:"step"`
+	Proc int   `json:"proc"`
+}
+
+// TotalRuns sums the explored schedules over all models.
+func (a *ExploreArtifact) TotalRuns() int {
+	total := 0
+	for _, m := range a.Models {
+		total += m.Runs
+	}
+	return total
+}
+
+// AllExhausted reports whether every model's space was fully covered.
+func (a *ExploreArtifact) AllExhausted() bool {
+	for _, m := range a.Models {
+		if !m.Exhausted {
+			return false
+		}
+	}
+	return len(a.Models) > 0
+}
+
+// WriteFile writes the artifact as indented JSON through a temp file +
+// rename (the artifact discipline: a crashed run never leaves a
+// truncated artifact), creating parent directories as needed.
+func (a *ExploreArtifact) WriteFile(path string) error {
+	if a.Schema == "" {
+		a.Schema = ExploreSchema
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal explore artifact %s: %w", a.Algorithm, err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// ReadExploreArtifact loads and validates one explore artifact file.
+func ReadExploreArtifact(path string) (*ExploreArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var a ExploreArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	if a.Schema != ExploreSchema {
+		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, a.Schema, ExploreSchema)
+	}
+	return &a, nil
+}
