@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint build test race trace-smoke explore-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
+.PHONY: ci lint vet fetchphilint build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite), build, tests, the race detector over the genuinely
 # concurrent packages, the trace-pipeline smoke test, the sharded
-# model-checker smoke, and the claims-conformance gate + smoke.
-ci: lint build test race trace-smoke explore-smoke claims claims-smoke
+# model-checker smoke, the distributed-fleet smoke, and the
+# claims-conformance gate + smoke.
+ci: lint build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint, the custom static-analysis
 # suite (awaitwatch, memsimpurity, determinism, phasebalance).
@@ -26,10 +27,10 @@ test:
 
 # race covers the packages that use real goroutines: the native spin
 # locks, the sharded explorer in memsim, the parallel sweep engine and
-# sharded checker in harness, and the obs artifact layer they record
-# into.
+# sharded checker in harness, the obs artifact layer they record into,
+# and the coordinator/worker fleet.
 race:
-	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/...
+	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/...
 
 # trace-smoke exercises the whole trace pipeline on a real workload:
 # record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
@@ -49,6 +50,14 @@ trace-smoke:
 explore-smoke:
 	$(GO) run ./cmd/explore -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 4 -require-exhausted -out bench/current/explore/EXPLORE_g-dsm.json
 	$(GO) run ./cmd/explore -alg tree4 -n 2 -entries 2 -preemptions 2 -workers 4 -require-exhausted -out bench/current/explore/EXPLORE_tree4.json
+
+# fleet-smoke stands up a real (in-process) model-checking fleet — a
+# coordinator plus two workers over loopback HTTP — and exhausts the
+# paper's DSM algorithm at N=2, K=2, recording the wall-clock-free
+# campaign artifact. The verdict must match explore-smoke's g-dsm run
+# bit for bit; the in-repo equivalence tests enforce that invariant.
+fleet-smoke:
+	$(GO) run ./cmd/fleet run -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 2 -out bench/current/explore/EXPLORE_fleet_g-dsm.json
 
 # claims evaluates the paper-claims registry over the checked-in
 # bench/baseline artifacts (so it works on a fresh clone, with no

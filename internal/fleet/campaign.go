@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
+)
+
+// This file is the campaign engine: the wave loop of memsim's
+// Explorer.Run, lifted out of the explorer so that (a) wave execution
+// can be delegated to any backend — in-process shards or a worker
+// fleet — and (b) every completed wave can be persisted as a resumable
+// checkpoint. The loop replicates Explorer.Run's semantics exactly
+// (cap check before each wave, canonical-prefix truncation when
+// MaxRuns lands inside a wave, first-failing-index reporting, stop
+// after a failing wave), which the equivalence tests pin against
+// harness.CheckSharded.
+
+// A WaveExecutor runs one full wave of schedules and returns the
+// per-schedule outcomes indexed like the wave. Implementations decide
+// where the schedules actually execute: LocalExecutor shards them
+// across in-process goroutines, Coordinator leases them to fleet
+// workers over HTTP. Executors must run every index exactly once per
+// call and must not reorder outcomes.
+type WaveExecutor interface {
+	ExecWave(model memsim.Model, depth int, wave [][]memsim.Preemption) []memsim.ScheduleOutcome
+}
+
+// LocalExecutor executes waves in-process through the sharded
+// explorer — the single-machine backend of the campaign engine, used
+// by cmd/explore -checkpoint. It builds one explorer per model through
+// harness.CheckExplorer, exactly like every other check path.
+type LocalExecutor struct {
+	// Build is the algorithm under test.
+	Build harness.Builder
+	// Config is the campaign configuration.
+	Config Config
+	// Shards is the local wave-shard width (<= 1: sequential).
+	Shards int
+
+	explorers map[memsim.Model]*memsim.Explorer
+}
+
+// ExecWave implements WaveExecutor.
+func (x *LocalExecutor) ExecWave(model memsim.Model, depth int, wave [][]memsim.Preemption) []memsim.ScheduleOutcome {
+	if x.explorers == nil {
+		x.explorers = make(map[memsim.Model]*memsim.Explorer)
+	}
+	e, ok := x.explorers[model]
+	if !ok {
+		e = harness.CheckExplorer(x.Build, model, x.Config.N, x.Config.Entries, x.Config.withDefaults().exploreOptions(x.Shards))
+		x.explorers[model] = e
+	}
+	return e.RunScheduleRange(wave)
+}
+
+// modelState is one memory model's in-flight campaign state.
+type modelState struct {
+	model memsim.Model
+	done  bool
+	// frontier is the wave pending at nextDepth (only while !done).
+	frontier  [][]memsim.Preemption
+	nextDepth int
+	runs      int
+	depthRuns []int
+	// result is the final exploration result (only once done).
+	result memsim.ExploreResult
+}
+
+// finish seals one model's exploration.
+func (st *modelState) finish(res memsim.ExploreResult) {
+	st.done = true
+	st.frontier = nil
+	st.result = res
+}
+
+// Campaign drives a full multi-model exploration through a
+// WaveExecutor, checkpointing after every completed wave.
+type Campaign struct {
+	// Config is the campaign configuration; zero fields get the
+	// documented defaults.
+	Config Config
+	// Exec runs each wave.
+	Exec WaveExecutor
+	// CheckpointPath, when non-empty, is the resumable
+	// fetchphi.explore/v1 artifact: loaded (and validated against
+	// Config) at start if it exists, rewritten atomically after every
+	// completed wave, and left behind as the final artifact with
+	// Checkpoint.Complete=true. Empty disables checkpointing.
+	CheckpointPath string
+	// CreatedBy and Commit stamp the artifact header. The artifact
+	// carries no wall-clock fields, so for a fixed configuration and
+	// commit it is byte-reproducible.
+	CreatedBy string
+	Commit    string
+	// AfterWave, if non-nil, runs after each wave (and each model
+	// completion) has been checkpointed; returning a non-nil error
+	// aborts the campaign immediately with that error — the
+	// SIGKILL-equivalent hook the resume tests use.
+	AfterWave func(model memsim.Model, depth int) error
+	// Progress, if non-nil, observes each wave start.
+	Progress func(model memsim.Model, p memsim.ExploreProgress)
+}
+
+// Run executes (or resumes) the campaign. The returned reports are in
+// Config.Models order with Runs, Exhausted, DepthRuns, and
+// FailingSchedule bit-identical to harness.CheckSharded over the same
+// configuration; the error is the first failing model's, formatted by
+// harness.CheckFailure. Like CheckSharded, reports (and the final
+// artifact) are returned even when the check itself fails, so callers
+// can persist capacity records for failed checks too.
+func (c *Campaign) Run() ([]harness.ModelReport, *obs.ExploreArtifact, error) {
+	cfg := c.Config.withDefaults()
+	models, err := cfg.parseModels()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	states := make([]*modelState, len(models))
+	for i, m := range models {
+		states[i] = &modelState{model: m, frontier: memsim.RootWave()}
+	}
+	if c.CheckpointPath != "" {
+		if _, statErr := os.Stat(c.CheckpointPath); statErr == nil {
+			if err := c.restore(cfg, states); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	for _, st := range states {
+		if st.done {
+			continue
+		}
+		if err := c.runModel(cfg, st, states); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	art := c.artifact(cfg, states, true)
+	if c.CheckpointPath != "" {
+		if err := art.WriteFile(c.CheckpointPath); err != nil {
+			return nil, nil, err
+		}
+	}
+	reports := make([]harness.ModelReport, len(states))
+	var checkErr error
+	for i, st := range states {
+		reports[i] = harness.ModelReport{Model: st.model, Result: st.result}
+		if checkErr == nil && st.result.Err != nil {
+			checkErr = harness.CheckFailure(st.model, st.result)
+		}
+	}
+	return reports, art, checkErr
+}
+
+// runModel drives one model's wave loop to completion, checkpointing
+// after every wave (and once more when the model finishes).
+func (c *Campaign) runModel(cfg Config, st *modelState, all []*modelState) error {
+	for !st.done {
+		if len(st.frontier) == 0 {
+			st.finish(memsim.ExploreResult{Runs: st.runs, Exhausted: true, DepthRuns: st.depthRuns})
+			break
+		}
+		if st.runs >= cfg.MaxRuns {
+			st.finish(memsim.ExploreResult{Runs: st.runs, DepthRuns: st.depthRuns})
+			break
+		}
+		wave := st.frontier
+		truncated := false
+		if remaining := cfg.MaxRuns - st.runs; len(wave) > remaining {
+			// Canonical-prefix truncation, exactly like Explorer.Run:
+			// the set of schedules executed under the cap stays
+			// deterministic.
+			wave = wave[:remaining]
+			truncated = true
+		}
+		if c.Progress != nil {
+			c.Progress(st.model, memsim.ExploreProgress{Depth: st.nextDepth, Frontier: len(wave), Runs: st.runs})
+		}
+		outs := c.Exec.ExecWave(st.model, st.nextDepth, wave)
+		if len(outs) != len(wave) {
+			return fmt.Errorf("fleet: executor returned %d outcomes for a %d-schedule wave", len(outs), len(wave))
+		}
+		st.runs += len(wave)
+		st.depthRuns = append(st.depthRuns, len(wave))
+		failed := false
+		for i := range outs {
+			if outs[i].Err != nil {
+				st.finish(memsim.ExploreResult{
+					Runs:            st.runs,
+					Err:             outs[i].Err,
+					FailingSchedule: wave[i],
+					DepthRuns:       st.depthRuns,
+				})
+				failed = true
+				break
+			}
+		}
+		if failed {
+			break
+		}
+		if truncated {
+			st.finish(memsim.ExploreResult{Runs: st.runs, DepthRuns: st.depthRuns})
+			break
+		}
+		var next [][]memsim.Preemption
+		for i := range outs {
+			next = append(next, outs[i].Children...)
+		}
+		st.frontier = next
+		st.nextDepth++
+		if err := c.afterWave(cfg, st, all); err != nil {
+			return err
+		}
+	}
+	return c.afterWave(cfg, st, all)
+}
+
+// afterWave persists the checkpoint and fires the AfterWave hook.
+func (c *Campaign) afterWave(cfg Config, st *modelState, all []*modelState) error {
+	if c.CheckpointPath != "" {
+		if err := c.artifact(cfg, all, false).WriteFile(c.CheckpointPath); err != nil {
+			return err
+		}
+	}
+	if c.AfterWave != nil {
+		return c.AfterWave(st.model, st.nextDepth)
+	}
+	return nil
+}
+
+// artifact serializes the campaign state as a fetchphi.explore/v1
+// artifact with the resumable-checkpoint extension. Done models appear
+// in Models; in-progress models live only in the checkpoint. The
+// output contains no wall-clock fields, so identical campaign states
+// serialize to identical bytes.
+func (c *Campaign) artifact(cfg Config, states []*modelState, complete bool) *obs.ExploreArtifact {
+	art := &obs.ExploreArtifact{
+		Schema:    obs.ExploreSchema,
+		Algorithm: cfg.Algorithm,
+		CreatedBy: c.CreatedBy,
+		Commit:    c.Commit,
+		N:         cfg.N, Entries: cfg.Entries, Preemptions: cfg.Preemptions,
+		MaxRuns:    cfg.MaxRuns,
+		Checkpoint: &obs.ExploreCheckpoint{Complete: complete},
+	}
+	for _, st := range states {
+		ck := obs.ExploreModelCheckpoint{
+			Model:     st.model.String(),
+			Done:      st.done,
+			NextDepth: st.nextDepth,
+			Runs:      st.runs,
+			DepthRuns: append([]int(nil), st.depthRuns...),
+		}
+		if !st.done {
+			ck.Frontier = make([][]obs.ExplorePreemption, len(st.frontier))
+			for i, s := range st.frontier {
+				ck.Frontier[i] = toWire(s)
+			}
+		} else {
+			em := obs.ExploreModel{
+				Model:     st.model.String(),
+				Runs:      st.result.Runs,
+				Exhausted: st.result.Exhausted,
+				DepthRuns: append([]int(nil), st.result.DepthRuns...),
+			}
+			if st.result.Err != nil {
+				em.Failure = st.result.Err.Error()
+				em.FailingSchedule = toWire(st.result.FailingSchedule)
+			}
+			art.Models = append(art.Models, em)
+		}
+		art.Checkpoint.Models = append(art.Checkpoint.Models, ck)
+	}
+	return art
+}
+
+// restore loads the checkpoint artifact and rehydrates states from it.
+// The checkpoint's configuration must match cfg — resuming a campaign
+// under a different configuration would silently corrupt the merge.
+func (c *Campaign) restore(cfg Config, states []*modelState) error {
+	art, err := obs.ReadExploreArtifact(c.CheckpointPath)
+	if err != nil {
+		return err
+	}
+	if art.Checkpoint == nil {
+		return fmt.Errorf("fleet: %s is not a checkpoint artifact (no checkpoint extension)", c.CheckpointPath)
+	}
+	if art.Algorithm != cfg.Algorithm || art.N != cfg.N || art.Entries != cfg.Entries ||
+		art.Preemptions != cfg.Preemptions || art.MaxRuns != cfg.MaxRuns {
+		return fmt.Errorf("fleet: checkpoint %s was written for alg=%s n=%d entries=%d preemptions=%d maxruns=%d; refusing to resume with a different configuration",
+			c.CheckpointPath, art.Algorithm, art.N, art.Entries, art.Preemptions, art.MaxRuns)
+	}
+	if len(art.Checkpoint.Models) != len(states) {
+		return fmt.Errorf("fleet: checkpoint %s covers %d models, campaign configures %d", c.CheckpointPath, len(art.Checkpoint.Models), len(states))
+	}
+	finals := make(map[string]obs.ExploreModel, len(art.Models))
+	for _, em := range art.Models {
+		finals[em.Model] = em
+	}
+	for i, ck := range art.Checkpoint.Models {
+		st := states[i]
+		if ck.Model != st.model.String() {
+			return fmt.Errorf("fleet: checkpoint model %d is %q, campaign configures %q", i, ck.Model, st.model)
+		}
+		st.nextDepth = ck.NextDepth
+		st.runs = ck.Runs
+		st.depthRuns = append([]int(nil), ck.DepthRuns...)
+		if !ck.Done {
+			st.frontier = make([][]memsim.Preemption, len(ck.Frontier))
+			for j, s := range ck.Frontier {
+				st.frontier[j] = fromWire(s)
+			}
+			continue
+		}
+		em, ok := finals[ck.Model]
+		if !ok {
+			return fmt.Errorf("fleet: checkpoint marks model %s done but the artifact has no final record for it", ck.Model)
+		}
+		res := memsim.ExploreResult{
+			Runs:      em.Runs,
+			Exhausted: em.Exhausted,
+			DepthRuns: append([]int(nil), em.DepthRuns...),
+		}
+		if em.Failure != "" {
+			res.Err = errors.New(em.Failure)
+			res.FailingSchedule = fromWire(em.FailingSchedule)
+		}
+		st.finish(res)
+	}
+	return nil
+}

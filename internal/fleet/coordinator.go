@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/obs"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseSize is the number of schedules per lease: small
+	// enough that a late wave balances across workers, large enough
+	// that HTTP round-trips stay cold relative to simulation cost
+	// (the same trade-off as memsim's claimBatch, scaled up for
+	// network latency).
+	DefaultLeaseSize = 256
+	// DefaultLeaseTimeout is how long a worker holds a range before
+	// it becomes claimable again.
+	DefaultLeaseTimeout = 30 * time.Second
+	// DefaultRetryMS is the poll delay suggested to workers when no
+	// range is available.
+	DefaultRetryMS = 100
+)
+
+// CoordinatorOptions tune a coordinator; the zero value selects the
+// documented defaults.
+type CoordinatorOptions struct {
+	// LeaseSize is the schedules-per-lease grid pitch.
+	LeaseSize int
+	// LeaseTimeout is the re-lease deadline.
+	LeaseTimeout time.Duration
+	// RetryMS is the wait-poll hint sent to workers.
+	RetryMS int
+	// CheckpointPath enables resumable checkpoints (see Campaign).
+	CheckpointPath string
+	// CreatedBy and Commit stamp the artifact header
+	// (default "fleet-coordinator" / empty).
+	CreatedBy string
+	Commit    string
+	// Now substitutes the lease clock — fault-injection tests advance
+	// a fake clock to expire leases deterministically. Nil selects the
+	// wall clock (the one legitimately nondeterministic input here;
+	// deadlines gate only *when* a range is re-offered, never what its
+	// outcomes are).
+	Now func() time.Time
+	// Progress, if non-nil, observes each wave start.
+	Progress func(model memsim.Model, p memsim.ExploreProgress)
+	// AfterWave passes through to Campaign.AfterWave: it fires after
+	// each wave is checkpointed, and a non-nil error stops the
+	// campaign on the wave boundary — the controlled-shutdown (and
+	// SIGKILL-equivalence test) hook.
+	AfterWave func(model memsim.Model, depth int) error
+}
+
+// Coordinator is the fleet's control plane: it owns the campaign wave
+// loop, decomposes each wave into leases, and merges reported outcomes
+// back into the canonical index order. It executes no schedules
+// itself — workers (in other processes, or in-process via Check) do.
+type Coordinator struct {
+	cfg      Config
+	opts     CoordinatorOptions
+	now      func() time.Time
+	leaseSeq atomic.Int64
+
+	mu           sync.Mutex
+	table        *leaseTable // active wave, nil between waves
+	events       []LeaseEvent
+	reLeases     int
+	staleReports int
+	finished     bool
+	reports      []harness.ModelReport
+	artifact     *obs.ExploreArtifact
+	err          error
+
+	done chan struct{}
+}
+
+// NewCoordinator prepares a coordinator for one campaign. Call Run
+// (usually in a goroutine) to start the wave loop, and serve Handler
+// somewhere workers can reach.
+func NewCoordinator(cfg Config, opts CoordinatorOptions) *Coordinator {
+	if opts.LeaseSize <= 0 {
+		opts.LeaseSize = DefaultLeaseSize
+	}
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if opts.RetryMS <= 0 {
+		opts.RetryMS = DefaultRetryMS
+	}
+	if opts.CreatedBy == "" {
+		opts.CreatedBy = "fleet-coordinator"
+	}
+	now := opts.Now
+	if now == nil {
+		//fetchphilint:ignore determinism lease deadlines gate re-offers only, never results
+		now = time.Now
+	}
+	return &Coordinator{cfg: cfg.withDefaults(), opts: opts, now: now, done: make(chan struct{})}
+}
+
+// Run drives the campaign to completion and records its outcome; it
+// returns what Wait returns. Safe to call exactly once.
+func (c *Coordinator) Run() ([]harness.ModelReport, error) {
+	camp := &Campaign{
+		Config:         c.cfg,
+		Exec:           c,
+		CheckpointPath: c.opts.CheckpointPath,
+		CreatedBy:      c.opts.CreatedBy,
+		Commit:         c.opts.Commit,
+		Progress:       c.opts.Progress,
+		AfterWave:      c.opts.AfterWave,
+	}
+	reports, art, err := camp.Run()
+	c.mu.Lock()
+	c.finished = true
+	c.reports = reports
+	c.artifact = art
+	c.err = err
+	c.mu.Unlock()
+	close(c.done)
+	return reports, err
+}
+
+// Wait blocks until the campaign finishes and returns its reports and
+// first-failing-model error, exactly like harness.CheckSharded.
+func (c *Coordinator) Wait() ([]harness.ModelReport, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reports, c.err
+}
+
+// Artifact returns the final explore artifact once the campaign has
+// finished (nil before that, or when the campaign aborted).
+func (c *Coordinator) Artifact() *obs.ExploreArtifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.artifact
+}
+
+// LeaseLog returns a copy of the lease log: every grant, re-lease,
+// accepted report, and stale report, in arrival order. The log is an
+// audit trail — the checkpoint-resume tests use it to prove completed
+// waves are never re-explored — not part of the deterministic result.
+func (c *Coordinator) LeaseLog() []LeaseEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]LeaseEvent(nil), c.events...)
+}
+
+// ExecWave implements WaveExecutor: it publishes the wave as a lease
+// table, waits for workers to complete every range, and collects the
+// outcomes in canonical order.
+func (c *Coordinator) ExecWave(model memsim.Model, depth int, wave [][]memsim.Preemption) []memsim.ScheduleOutcome {
+	t := newLeaseTable(model, depth, wave, c.opts.LeaseSize, c.opts.LeaseTimeout, c.now)
+	c.mu.Lock()
+	c.table = t
+	c.mu.Unlock()
+	<-t.done
+	c.mu.Lock()
+	c.table = nil
+	c.mu.Unlock()
+	return t.collect()
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathConfig, c.handleConfig)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathReport, c.handleReport)
+	mux.HandleFunc(PathStatus, c.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.cfg)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("fleet: bad lease request: %v", err), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	finished, table := c.finished, c.table
+	c.mu.Unlock()
+	if finished {
+		writeJSON(w, LeaseResponse{Status: StatusDone})
+		return
+	}
+	if table == nil {
+		writeJSON(w, LeaseResponse{Status: StatusWait, RetryMS: c.opts.RetryMS})
+		return
+	}
+	lease, kind, ok := table.claim(req.Worker, c.leaseSeq.Add(1))
+	if !ok {
+		writeJSON(w, LeaseResponse{Status: StatusWait, RetryMS: c.opts.RetryMS})
+		return
+	}
+	c.mu.Lock()
+	if kind == "re-lease" {
+		c.reLeases++
+	}
+	c.events = append(c.events, LeaseEvent{
+		Kind: kind, Model: lease.Model, Depth: lease.Depth,
+		Lo: lease.Lo, Hi: lease.Hi, Worker: req.Worker, LeaseID: lease.ID,
+	})
+	c.mu.Unlock()
+	writeJSON(w, LeaseResponse{Status: StatusLease, Lease: lease})
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("fleet: bad report: %v", err), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	table := c.table
+	c.mu.Unlock()
+	if table == nil || table.model.String() != req.Model || table.depth != req.Depth {
+		// The wave this report belongs to has already completed (its
+		// range was re-leased and reported by someone else); nothing
+		// to merge, and nothing lost — outcomes are deterministic.
+		c.noteStale(&req)
+		writeJSON(w, ReportResponse{Accepted: false, Reason: "no active wave at that model/depth"})
+		return
+	}
+	outcomes := make([]memsim.ScheduleOutcome, len(req.Outcomes))
+	for i, o := range req.Outcomes {
+		if o.Failure != "" {
+			outcomes[i].Err = errorString(o.Failure)
+		}
+		outcomes[i].Children = schedulesFromWire(o.Children)
+	}
+	accepted, err := table.report(&req, outcomes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	kind := "report"
+	if !accepted {
+		kind = "stale-report"
+		c.staleReports++
+	}
+	c.events = append(c.events, LeaseEvent{
+		Kind: kind, Model: req.Model, Depth: req.Depth,
+		Lo: req.Lo, Hi: req.Hi, Worker: req.Worker, LeaseID: req.LeaseID,
+	})
+	c.mu.Unlock()
+	reason := ""
+	if !accepted {
+		reason = "range already completed"
+	}
+	writeJSON(w, ReportResponse{Accepted: accepted, Reason: reason})
+}
+
+func (c *Coordinator) noteStale(req *ReportRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.staleReports++
+	c.events = append(c.events, LeaseEvent{
+		Kind: "stale-report", Model: req.Model, Depth: req.Depth,
+		Lo: req.Lo, Hi: req.Hi, Worker: req.Worker, LeaseID: req.LeaseID,
+	})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	resp := StatusResponse{
+		Algorithm:    c.cfg.Algorithm,
+		State:        "running",
+		Leases:       0,
+		ReLeases:     c.reLeases,
+		StaleReports: c.staleReports,
+	}
+	for _, ev := range c.events {
+		if ev.Kind == "lease" || ev.Kind == "re-lease" {
+			resp.Leases++
+		}
+	}
+	if c.finished {
+		resp.State = "done"
+		if c.err != nil {
+			resp.State = "failed"
+			resp.Failure = c.err.Error()
+		}
+	}
+	table := c.table
+	c.mu.Unlock()
+	if table != nil {
+		resp.Model = table.model.String()
+		resp.Depth = table.depth
+		resp.Frontier = len(table.wave)
+		resp.RangesPending, resp.RangesLeased, resp.RangesDone = table.counts()
+	}
+	writeJSON(w, resp)
+}
+
+// errorString is a trivial error wrapper for failures that crossed the
+// wire as strings. It exists (instead of errors.New) to document that
+// fleet-side errors are reconstructed text: message-identical to the
+// local run's error, with the original type erased by serialization.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fetchphi/internal/memsim"
+)
+
+// This file is the lease table: the coordinator's bookkeeping for one
+// active wave. The wave's index space is cut into a fixed grid of
+// contiguous ranges; each range moves pending → leased → done, with
+// leased ranges falling back to claimable when their deadline passes.
+// The grid never changes after construction, so a range's identity is
+// its index — whichever lease (first grant, or a re-lease after a
+// worker died) eventually delivers the outcomes, they land in the same
+// slots. That is the whole fault-tolerance story: worker loss delays a
+// wave, it cannot change the result.
+
+// Lease states.
+const (
+	rangePending = iota
+	rangeLeased
+	rangeDone
+)
+
+// waveRange is one grid cell of the active wave.
+type waveRange struct {
+	lo, hi   int
+	state    int
+	leaseID  int64
+	worker   string
+	deadline time.Time
+	outcomes []memsim.ScheduleOutcome
+}
+
+// leaseTable tracks the active wave's ranges. All methods are
+// goroutine-safe; completion is signaled by closing done.
+type leaseTable struct {
+	model   memsim.Model
+	depth   int
+	wave    [][]memsim.Preemption
+	timeout time.Duration
+	// now is injected by the coordinator (wall clock in production,
+	// a fake in the fault-injection tests).
+	now func() time.Time
+
+	mu        sync.Mutex
+	ranges    []*waveRange
+	remaining int
+	done      chan struct{}
+}
+
+// newLeaseTable cuts wave into ranges of at most size indices.
+func newLeaseTable(model memsim.Model, depth int, wave [][]memsim.Preemption, size int, timeout time.Duration, now func() time.Time) *leaseTable {
+	if size < 1 {
+		size = 1
+	}
+	t := &leaseTable{
+		model:   model,
+		depth:   depth,
+		wave:    wave,
+		timeout: timeout,
+		now:     now,
+		done:    make(chan struct{}),
+	}
+	for lo := 0; lo < len(wave); lo += size {
+		hi := lo + size
+		if hi > len(wave) {
+			hi = len(wave)
+		}
+		t.ranges = append(t.ranges, &waveRange{lo: lo, hi: hi, state: rangePending})
+	}
+	t.remaining = len(t.ranges)
+	return t
+}
+
+// claim grants the first pending range — or, failing that, re-leases
+// the first expired one — to worker, under the given lease ID. The
+// returned event kind distinguishes a first grant from a re-lease;
+// ok is false when nothing is claimable right now (every range is done
+// or leased with a live deadline).
+func (t *leaseTable) claim(worker string, leaseID int64) (lease *Lease, kind string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var pick *waveRange
+	for _, r := range t.ranges {
+		if r.state == rangePending {
+			pick, kind = r, "lease"
+			break
+		}
+	}
+	if pick == nil {
+		for _, r := range t.ranges {
+			if r.state == rangeLeased && !r.deadline.After(now) {
+				pick, kind = r, "re-lease"
+				break
+			}
+		}
+	}
+	if pick == nil {
+		return nil, "", false
+	}
+	pick.state = rangeLeased
+	pick.leaseID = leaseID
+	pick.worker = worker
+	pick.deadline = now.Add(t.timeout)
+	return &Lease{
+		ID:         leaseID,
+		Model:      t.model.String(),
+		Depth:      t.depth,
+		Lo:         pick.lo,
+		Hi:         pick.hi,
+		Schedules:  schedulesToWire(t.wave[pick.lo:pick.hi]),
+		DeadlineMS: t.timeout.Milliseconds(),
+	}, kind, true
+}
+
+// report delivers one range's outcomes. Reports are accepted for any
+// not-yet-done range with a matching geometry — including reports from
+// an expired lease that was since re-granted, because wave execution
+// is deterministic and every report for a range carries identical
+// outcomes. Duplicate reports for a done range are ignored (accepted =
+// false), which is what a worker sees after its response to an earlier
+// identical report was lost in flight.
+func (t *leaseTable) report(req *ReportRequest, outcomes []memsim.ScheduleOutcome) (accepted bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.ranges {
+		if r.lo != req.Lo {
+			continue
+		}
+		if r.hi != req.Hi || len(outcomes) != r.hi-r.lo {
+			return false, fmt.Errorf("fleet: report for range [%d,%d) with %d outcomes does not match the wave grid range [%d,%d)", req.Lo, req.Hi, len(outcomes), r.lo, r.hi)
+		}
+		if r.state == rangeDone {
+			return false, nil
+		}
+		r.state = rangeDone
+		r.outcomes = outcomes
+		t.remaining--
+		if t.remaining == 0 {
+			close(t.done)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("fleet: report for range [%d,%d) does not start on the wave grid", req.Lo, req.Hi)
+}
+
+// collect concatenates the per-range outcomes in grid order; it must
+// only be called after done is closed.
+func (t *leaseTable) collect() []memsim.ScheduleOutcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]memsim.ScheduleOutcome, 0, len(t.wave))
+	for _, r := range t.ranges {
+		out = append(out, r.outcomes...)
+	}
+	return out
+}
+
+// counts reports the range-state totals for status snapshots.
+func (t *leaseTable) counts() (pending, leased, doneN int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.ranges {
+		switch r.state {
+		case rangePending:
+			pending++
+		case rangeLeased:
+			leased++
+		case rangeDone:
+			doneN++
+		}
+	}
+	return
+}

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fetchphi/internal/harness"
+	"fetchphi/internal/memsim"
+)
+
+// Worker is the fleet's data plane: a stateless loop that claims
+// leases from a coordinator, executes them through the exact same
+// explorer construction as every local check path
+// (harness.CheckExplorer + RunScheduleRange), and reports the
+// outcomes. Workers carry no campaign state between leases, which is
+// why killing one mid-lease loses nothing but time: the coordinator
+// re-leases the range at its deadline and any worker re-derives the
+// identical outcomes.
+type Worker struct {
+	// ID names the worker in the coordinator's lease log.
+	ID string
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Resolve maps the campaign's algorithm name to a builder
+	// (production workers pass experiments.Algorithm; in-process
+	// checks close over the builder under test).
+	Resolve func(algorithm string) (harness.Builder, error)
+	// Shards is the local wave-shard width per lease (<= 1:
+	// sequential execution of the leased range).
+	Shards int
+	// Client is the HTTP client (default http.DefaultClient); tests
+	// inject fault-y transports here.
+	Client *http.Client
+	// Poll is the idle re-poll interval when the coordinator has no
+	// lease to grant (default 50ms; the coordinator's RetryMS hint
+	// overrides it per response).
+	Poll time.Duration
+	// Retries is the attempt budget per HTTP call (default 5) — a
+	// dropped response is retried, and a duplicate report is ignored
+	// idempotently on the coordinator side.
+	Retries int
+
+	explorers map[memsim.Model]*memsim.Explorer
+	build     harness.Builder
+	cfg       Config
+}
+
+// Run executes leases until the coordinator reports the campaign done,
+// the context is cancelled, or the HTTP retry budget is exhausted on a
+// call. Returns nil on a normal "done" exit.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		w.Client = http.DefaultClient
+	}
+	if w.Poll <= 0 {
+		w.Poll = 50 * time.Millisecond
+	}
+	if w.Retries <= 0 {
+		w.Retries = 5
+	}
+	if err := w.fetchConfig(ctx); err != nil {
+		return err
+	}
+	b, err := w.Resolve(w.cfg.Algorithm)
+	if err != nil {
+		return err
+	}
+	w.build = b
+	w.explorers = make(map[memsim.Model]*memsim.Explorer)
+
+	for {
+		var resp LeaseResponse
+		if err := w.call(ctx, PathLease, LeaseRequest{Worker: w.ID}, &resp); err != nil {
+			return err
+		}
+		switch resp.Status {
+		case StatusDone:
+			return nil
+		case StatusWait:
+			delay := w.Poll
+			if resp.RetryMS > 0 {
+				delay = time.Duration(resp.RetryMS) * time.Millisecond
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
+				return err
+			}
+		case StatusLease:
+			if err := w.execute(ctx, resp.Lease); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: coordinator returned unknown lease status %q", resp.Status)
+		}
+	}
+}
+
+// execute runs one lease and reports its outcomes.
+func (w *Worker) execute(ctx context.Context, lease *Lease) error {
+	if lease == nil {
+		return fmt.Errorf("fleet: lease response carried no lease")
+	}
+	model, err := memsim.ParseModel(lease.Model)
+	if err != nil {
+		return err
+	}
+	e, ok := w.explorers[model]
+	if !ok {
+		e = harness.CheckExplorer(w.build, model, w.cfg.N, w.cfg.Entries, w.cfg.exploreOptions(w.Shards))
+		w.explorers[model] = e
+	}
+	outs := e.RunScheduleRange(schedulesFromWire(lease.Schedules))
+	report := ReportRequest{
+		Worker:   w.ID,
+		LeaseID:  lease.ID,
+		Model:    lease.Model,
+		Depth:    lease.Depth,
+		Lo:       lease.Lo,
+		Hi:       lease.Hi,
+		Outcomes: make([]Outcome, len(outs)),
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			report.Outcomes[i].Failure = o.Err.Error()
+		}
+		report.Outcomes[i].Children = schedulesToWire(o.Children)
+	}
+	var resp ReportResponse
+	// A rejected report is fine: the range was completed by a
+	// re-lease, or this is a retry after a lost response.
+	return w.call(ctx, PathReport, report, &resp)
+}
+
+// fetchConfig loads the campaign configuration with retries.
+func (w *Worker) fetchConfig(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt < w.Retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, w.Poll); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Coordinator+PathConfig, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := w.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = decodeBody(resp, &w.cfg)
+		if err == nil {
+			w.cfg = w.cfg.withDefaults()
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("fleet: fetch config from %s: %w", w.Coordinator, lastErr)
+}
+
+// call POSTs a JSON body and decodes the JSON response, retrying
+// transport failures (including dropped responses) up to w.Retries
+// times. Every retried POST is safe: leases are granted fresh per
+// call, and duplicate reports are idempotent on the coordinator.
+func (w *Worker) call(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < w.Retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, w.Poll); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		err = decodeBody(resp, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("fleet: %s %s: %w", path, w.Coordinator, lastErr)
+}
+
+// decodeBody drains and decodes one JSON response.
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	//fetchphilint:ignore determinism worker poll pacing; never touches results
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

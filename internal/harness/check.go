@@ -64,10 +64,14 @@ type ModelReport struct {
 	Result memsim.ExploreResult
 }
 
-// checkExplorer builds the explorer for one model: n processes, each
+// CheckExplorer builds the explorer for one model: n processes, each
 // performing `entries` bare acquire/CS/release entries of the
-// algorithm under test.
-func checkExplorer(b Builder, model memsim.Model, n, entries int, opts ExploreOptions) *memsim.Explorer {
+// algorithm under test. It is exported because it is the single
+// definition of the model-check workload: every execution backend —
+// Check, CheckSharded, and the distributed fleet workers in
+// internal/fleet — must build machines through it, or their results
+// would not be comparable, let alone bit-identical.
+func CheckExplorer(b Builder, model memsim.Model, n, entries int, opts ExploreOptions) *memsim.Explorer {
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = DefaultCheckMaxRuns
@@ -104,9 +108,10 @@ func checkExplorer(b Builder, model memsim.Model, n, entries int, opts ExploreOp
 	return e
 }
 
-// checkErr converts one model's failing exploration into the error
-// Check has always reported.
-func checkErr(model memsim.Model, res memsim.ExploreResult) error {
+// CheckFailure converts one model's failing exploration into the
+// error Check has always reported. Exported so fleet-backed check
+// variants produce byte-identical error messages to the local paths.
+func CheckFailure(model memsim.Model, res memsim.ExploreResult) error {
 	return fmt.Errorf("harness: model %v, schedule %v (run %d): %w", model, res.FailingSchedule, res.Runs, res.Err)
 }
 
@@ -121,8 +126,8 @@ func checkErr(model memsim.Model, res memsim.ExploreResult) error {
 func Check(b Builder, n, entries, preemptions, maxRuns int) error {
 	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
 		opts := ExploreOptions{Preemptions: preemptions, MaxRuns: maxRuns, Workers: 1}
-		if res := checkExplorer(b, model, n, entries, opts).Run(); res.Err != nil {
-			return checkErr(model, res)
+		if res := CheckExplorer(b, model, n, entries, opts).Run(); res.Err != nil {
+			return CheckFailure(model, res)
 		}
 	}
 	return nil
@@ -151,13 +156,13 @@ func CheckSharded(b Builder, n, entries int, opts ExploreOptions) ([]ModelReport
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reports[i] = ModelReport{Model: model, Result: checkExplorer(b, model, n, entries, opts).Run()}
+			reports[i] = ModelReport{Model: model, Result: CheckExplorer(b, model, n, entries, opts).Run()}
 		}()
 	}
 	wg.Wait()
 	for _, r := range reports {
 		if r.Result.Err != nil {
-			return reports, checkErr(r.Model, r.Result)
+			return reports, CheckFailure(r.Model, r.Result)
 		}
 	}
 	return reports, nil

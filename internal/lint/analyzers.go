@@ -29,7 +29,9 @@ var DeterministicPackages = []string{
 	"internal/trace",
 	"internal/fit",
 	"internal/claims",
+	"internal/fleet",
 	"cmd/explore",
+	"cmd/fleet",
 }
 
 // All returns the full analyzer suite in reporting order.

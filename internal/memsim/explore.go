@@ -193,11 +193,20 @@ func contains(xs []int, x int) bool {
 	return false
 }
 
-// waveResult is one schedule's outcome within a wave: its failure, if
-// any, and the child schedules it spawns for the next wave.
-type waveResult struct {
-	err      error
-	children [][]Preemption
+// ScheduleOutcome is one schedule's outcome within a wave: its
+// failure, if any, and the child schedules it spawns for the next
+// wave. It is exported because it is also the unit of work a
+// distributed fleet worker reports back to its coordinator (see
+// internal/fleet): the coordinator concatenates Children in canonical
+// index order to form the next wave, exactly like Explorer.Run does.
+type ScheduleOutcome struct {
+	// Err is the schedule's failure (violation, deadlock, step bound,
+	// or Check error), nil if it passed.
+	Err error
+	// Children are the next-wave schedules this schedule spawns, in
+	// canonical (step, proc) order. Empty for failing schedules and
+	// for schedules already at the preemption bound.
+	Children [][]Preemption
 }
 
 // runOne executes one schedule against a fresh machine and, unless the
@@ -207,7 +216,7 @@ type waveResult struct {
 // together with waves listing children in parent order — is what makes
 // a wave's index order the canonical (shortest, then lexicographic)
 // order on schedules.
-func (e *Explorer) runOne(sched []Preemption, maxPre int) waveResult {
+func (e *Explorer) runOne(sched []Preemption, maxPre int) ScheduleOutcome {
 	ch := &chooser{preemptions: sched}
 	if n := len(sched); n > 0 {
 		ch.traceFrom = sched[n-1].Step + 1
@@ -220,11 +229,11 @@ func (e *Explorer) runOne(sched []Preemption, maxPre int) waveResult {
 	}
 	m := e.Build()
 	r := m.Run(RunConfig{Sched: ch, MaxSteps: e.MaxSteps})
-	wr := waveResult{err: r.Err()}
-	if wr.err == nil && e.Check != nil {
-		wr.err = e.Check(r)
+	wr := ScheduleOutcome{Err: r.Err()}
+	if wr.Err == nil && e.Check != nil {
+		wr.Err = e.Check(r)
 	}
-	if wr.err != nil || !expand {
+	if wr.Err != nil || !expand {
 		return wr
 	}
 	for _, cp := range ch.choices {
@@ -235,7 +244,7 @@ func (e *Explorer) runOne(sched []Preemption, maxPre int) waveResult {
 			child := make([]Preemption, len(sched)+1)
 			copy(child, sched)
 			child[len(sched)] = Preemption{Step: cp.step, Proc: alt}
-			wr.children = append(wr.children, child)
+			wr.Children = append(wr.Children, child)
 		}
 	}
 	return wr
@@ -248,13 +257,7 @@ func (e *Explorer) runOne(sched []Preemption, maxPre int) waveResult {
 // because each wave is either executed in full or truncated to a
 // canonical prefix when MaxRuns lands inside it.
 func (e *Explorer) Run() ExploreResult {
-	maxPre := e.MaxPreemptions
-	switch {
-	case maxPre < 0:
-		maxPre = 0
-	case maxPre == 0:
-		maxPre = DefaultPreemptions
-	}
+	maxPre := e.ResolvedPreemptions()
 	maxRuns := e.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = 200_000
@@ -288,8 +291,8 @@ func (e *Explorer) Run() ExploreResult {
 		// smallest failing schedule no matter which worker ran it —
 		// and any failure in a deeper wave is canonically larger.
 		for i := range out {
-			if out[i].err != nil {
-				res.Err = out[i].err
+			if out[i].Err != nil {
+				res.Err = out[i].Err
 				res.FailingSchedule = wave[i]
 				return res
 			}
@@ -299,7 +302,7 @@ func (e *Explorer) Run() ExploreResult {
 		}
 		var next [][]Preemption
 		for i := range out {
-			next = append(next, out[i].children...)
+			next = append(next, out[i].Children...)
 		}
 		wave = next
 	}

@@ -1,0 +1,96 @@
+package memsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// rangeBuild is a small always-passing two-process workload with real
+// contention (both processes CAS-loop on one variable), so the
+// explorer generates non-trivial waves.
+func rangeBuild() *Machine {
+	m := NewMachine(CC, 2)
+	v := m.NewVar("v", HomeGlobal, 0)
+	for p := 0; p < 2; p++ {
+		m.AddProc("p", func(pr *Proc) {
+			for i := 0; i < 2; i++ {
+				pr.Read(v)
+				pr.Write(v, Word(i))
+			}
+		})
+	}
+	return m
+}
+
+// TestRunScheduleRangeReassemblesRun drives the exported wave-range
+// API exactly like an external coordinator would — seed with RootWave,
+// execute each wave in arbitrary-sized contiguous ranges, concatenate
+// Children by index — and checks the reassembled exploration matches
+// Explorer.Run bit for bit (runs per depth, exhaustion).
+func TestRunScheduleRangeReassemblesRun(t *testing.T) {
+	ref := (&Explorer{Build: rangeBuild, MaxPreemptions: 2, MaxSteps: 5000}).Run()
+	if ref.Err != nil || !ref.Exhausted {
+		t.Fatalf("reference run: %+v", ref)
+	}
+
+	e := &Explorer{Build: rangeBuild, MaxPreemptions: 2, MaxSteps: 5000}
+	wave := RootWave()
+	var depthRuns []int
+	for depth := 0; len(wave) > 0; depth++ {
+		// Split the wave into ranges of 3 and execute them out of
+		// order — the merge is by index, so order must not matter.
+		outs := make([]ScheduleOutcome, len(wave))
+		var ranges [][2]int
+		for lo := 0; lo < len(wave); lo += 3 {
+			hi := lo + 3
+			if hi > len(wave) {
+				hi = len(wave)
+			}
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		for i := len(ranges) - 1; i >= 0; i-- {
+			lo, hi := ranges[i][0], ranges[i][1]
+			copy(outs[lo:hi], e.RunScheduleRange(wave[lo:hi]))
+		}
+		depthRuns = append(depthRuns, len(wave))
+		var next [][]Preemption
+		for i := range outs {
+			if outs[i].Err != nil {
+				t.Fatalf("unexpected failure at depth %d index %d: %v", depth, i, outs[i].Err)
+			}
+			next = append(next, outs[i].Children...)
+		}
+		wave = next
+	}
+	if !reflect.DeepEqual(depthRuns, ref.DepthRuns) {
+		t.Fatalf("range-driven depth runs %v, want %v", depthRuns, ref.DepthRuns)
+	}
+}
+
+// TestResolvedPreemptions pins the MaxPreemptions encoding the
+// external drivers depend on.
+func TestResolvedPreemptions(t *testing.T) {
+	for _, tc := range []struct{ enc, want int }{
+		{ZeroPreemptions, 0},
+		{0, DefaultPreemptions},
+		{3, 3},
+	} {
+		e := &Explorer{MaxPreemptions: tc.enc}
+		if got := e.ResolvedPreemptions(); got != tc.want {
+			t.Errorf("ResolvedPreemptions(%d) = %d, want %d", tc.enc, got, tc.want)
+		}
+	}
+}
+
+// TestParseMemoryModelRoundTrip pins the wire spelling of every model.
+func TestParseMemoryModelRoundTrip(t *testing.T) {
+	for _, m := range []Model{CC, DSM, CCUpdate} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("PRAM"); err == nil {
+		t.Fatal("ParseModel accepted an unknown model")
+	}
+}

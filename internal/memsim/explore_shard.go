@@ -72,8 +72,8 @@ func (d *frontierDeque) claim(w, batch int) (lo, hi int, ok bool) {
 // runWave executes one wave of schedules — sequentially, or sharded
 // across workers — and returns the per-schedule outcomes indexed like
 // wave.
-func (e *Explorer) runWave(wave [][]Preemption, depth, runsBefore, maxPre, workers int) []waveResult {
-	out := make([]waveResult, len(wave))
+func (e *Explorer) runWave(wave [][]Preemption, depth, runsBefore, maxPre, workers int) []ScheduleOutcome {
+	out := make([]ScheduleOutcome, len(wave))
 	var completed atomic.Int64
 	tick := func() {
 		if e.Progress == nil || e.ProgressEvery <= 0 {

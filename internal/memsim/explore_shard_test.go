@@ -132,10 +132,10 @@ func TestShardedFailureIsCanonicallySmallest(t *testing.T) {
 		var next [][]Preemption
 		for _, sched := range wave {
 			wr := e.runOne(sched, DefaultPreemptions)
-			if wr.err != nil {
+			if wr.Err != nil {
 				failing = append(failing, sched)
 			}
-			next = append(next, wr.children...)
+			next = append(next, wr.Children...)
 		}
 		wave = next
 	}

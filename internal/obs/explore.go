@@ -49,6 +49,14 @@ type ExploreArtifact struct {
 	Workers int `json:"workers"`
 	// Models holds one entry per memory model, in check order.
 	Models []ExploreModel `json:"models"`
+	// Checkpoint, when present, makes the artifact a resumable
+	// campaign record: it carries the per-model wave frontier so a
+	// killed coordinator (or an interrupted cmd/explore -checkpoint
+	// run) restarts mid-campaign without re-running finished waves.
+	// A complete campaign keeps its checkpoint with Complete=true —
+	// the final artifact of a resumed run is byte-identical to an
+	// uninterrupted one.
+	Checkpoint *ExploreCheckpoint `json:"checkpoint,omitempty"`
 	// WallMS is the end-to-end wall-clock time in milliseconds.
 	// Nondeterministic by nature; comparisons should treat it like
 	// the bench artifacts' wall-clock cells.
@@ -82,6 +90,43 @@ type ExploreModel struct {
 type ExplorePreemption struct {
 	Step int64 `json:"step"`
 	Proc int   `json:"proc"`
+}
+
+// ExploreCheckpoint is the resumable-campaign extension of the explore
+// artifact: everything a wave-synchronous driver needs to continue an
+// exploration from the last completed wave. Waves are the checkpoint
+// granule — a wave either completed (its children are the frontier) or
+// it re-runs in full, which is safe because wave execution is a pure
+// function of the machine.
+type ExploreCheckpoint struct {
+	// Complete is true once every model's exploration has finished
+	// (exhausted, capped, or failed); the surrounding artifact is then
+	// final and the checkpoint exists only as a record.
+	Complete bool `json:"complete"`
+	// Models holds one entry per configured memory model, in check
+	// order, regardless of how far each has progressed.
+	Models []ExploreModelCheckpoint `json:"models"`
+}
+
+// ExploreModelCheckpoint is one memory model's resume point.
+type ExploreModelCheckpoint struct {
+	// Model is the memory model name (CC, DSM, ...).
+	Model string `json:"model"`
+	// Done is true when this model's exploration finished: the space
+	// was exhausted, the run cap was hit, or a failure was found. Its
+	// final coverage then lives in the artifact's Models entry of the
+	// same name.
+	Done bool `json:"done"`
+	// NextDepth is the preemption depth of the next wave to run.
+	NextDepth int `json:"next_depth"`
+	// Frontier is the full schedule wave pending at NextDepth, in
+	// canonical order. A fresh model's frontier is the single empty
+	// schedule (serialized as [null]).
+	Frontier [][]ExplorePreemption `json:"frontier,omitempty"`
+	// Runs and DepthRuns are the coverage completed so far; they
+	// mirror the ExploreModel fields while the model is in progress.
+	Runs      int   `json:"runs"`
+	DepthRuns []int `json:"depth_runs,omitempty"`
 }
 
 // TotalRuns sums the explored schedules over all models.

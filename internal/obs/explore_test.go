@@ -105,3 +105,45 @@ func TestReadArtifactDirSkipsExploreArtifacts(t *testing.T) {
 		t.Fatalf("ReadArtifactDir = %+v", arts)
 	}
 }
+
+// TestExploreCheckpointRoundTrip pins the resumable-campaign
+// extension: the frontier (including the fresh model's single empty
+// schedule, which must stay nil through JSON so replayed
+// FailingSchedules stay bit-identical) survives a write/read cycle.
+func TestExploreCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	art := sampleExplore()
+	art.Models = nil
+	art.WallMS, art.SchedulesPerSec = 0, 0
+	art.Checkpoint = &ExploreCheckpoint{
+		Models: []ExploreModelCheckpoint{
+			{Model: "CC", NextDepth: 0, Frontier: [][]ExplorePreemption{nil}},
+			{Model: "DSM", NextDepth: 2, Runs: 46, DepthRuns: []int{1, 45},
+				Frontier: [][]ExplorePreemption{
+					{{Step: 3, Proc: 1}, {Step: 9, Proc: 0}},
+					{{Step: 3, Proc: 1}, {Step: 11, Proc: 0}},
+				}},
+		},
+	}
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExploreArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Checkpoint, art.Checkpoint) {
+		t.Fatalf("checkpoint round trip diverged:\n got %+v\nwant %+v", got.Checkpoint, art.Checkpoint)
+	}
+	if got.Checkpoint.Models[0].Frontier[0] != nil {
+		t.Fatal("empty root schedule did not stay nil through JSON")
+	}
+	// A checkpoint-free artifact keeps its old wire shape.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"checkpoint\"") {
+		t.Fatal("checkpoint field missing from serialized artifact")
+	}
+}
