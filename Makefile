@@ -1,23 +1,31 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke bench sweep report baseline baseline-claims gate clean
+.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
-# analysis suite), build, tests, the race detector over the genuinely
-# concurrent packages, the trace-pipeline smoke test, the sharded
-# model-checker smoke, the distributed-fleet smoke, and the
-# claims-conformance gate + smoke.
-ci: lint build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke
+# analysis suite, gated against the checked-in lint baseline), build,
+# tests, the race detector over the genuinely concurrent packages, the
+# trace-pipeline smoke test, the sharded model-checker smoke, the
+# distributed-fleet smoke, and the claims-conformance gate + smoke.
+ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke
 
-# lint runs go vet plus cmd/fetchphilint, the custom static-analysis
-# suite (awaitwatch, memsimpurity, determinism, phasebalance).
+# lint runs go vet plus cmd/fetchphilint — the per-package analyzers
+# (awaitwatch, memsimpurity, determinism, phasebalance), the
+# interprocedural certifiers (localspin, rmrbound), and the
+# ignoreaudit sweep — recording the fetchphi.lint/v1 artifact.
 lint: vet fetchphilint
 
 vet:
 	$(GO) vet ./...
 
 fetchphilint:
-	$(GO) run ./cmd/fetchphilint ./...
+	$(GO) run ./cmd/fetchphilint -json bench/current/LINT.json ./...
+
+# lint-gate compares the fresh lint artifact against the checked-in
+# baseline: new findings, locality-verdict regressions, and lost RMR
+# bounds fail; grandfathered findings do not.
+lint-gate: vet
+	$(GO) run ./cmd/fetchphilint -json bench/current/LINT.json -baseline bench/baseline/LINT.json ./...
 
 build:
 	$(GO) build ./...
@@ -95,6 +103,12 @@ baseline:
 # checked-in bench artifacts.
 baseline-claims:
 	$(GO) run ./cmd/claims -bench bench/baseline -out bench/baseline/CLAIMS.json
+
+# baseline-lint regenerates the checked-in lint baseline. Run it (and
+# commit the result) only after deliberately accepting a new finding
+# or verdict change.
+baseline-lint:
+	$(GO) run ./cmd/fetchphilint -json bench/baseline/LINT.json ./...
 
 # gate re-runs the experiments and fails on any RMR regression against
 # the checked-in artifacts in bench/baseline — works out of the box on

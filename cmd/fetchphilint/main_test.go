@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetchphi/internal/obs"
+)
+
+// runLint invokes run with captured output.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{
+		"awaitwatch", "memsimpurity", "determinism", "phasebalance",
+		"localspin", "rmrbound", "ignoreaudit",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runLint(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestBadPackageExitsTwo(t *testing.T) {
+	code, _, errw := runLint(t, "no/such/package")
+	if code != 2 {
+		t.Fatalf("bad package: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw, "no such package directory") {
+		t.Errorf("stderr missing load error: %q", errw)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, errw := runLint(t, "internal/core", "internal/baseline")
+	if code != 0 {
+		t.Fatalf("clean packages: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	if out != "" {
+		t.Errorf("clean packages printed diagnostics:\n%s", out)
+	}
+}
+
+// TestFindingsExitOne plants a package containing a stale ignore
+// directive inside the module and checks the CLI reports it with exit
+// status 1.
+func TestFindingsExitOne(t *testing.T) {
+	rel := writeStalePackage(t)
+	code, out, errw := runLint(t, rel)
+	if code != 1 {
+		t.Fatalf("stale-directive package: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	if !strings.Contains(out, "stale ignore directive") {
+		t.Errorf("output missing stale-directive diagnostic:\n%s", out)
+	}
+}
+
+func TestJSONAndSARIFArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "LINT.json")
+	sarifPath := filepath.Join(dir, "lint.sarif")
+	code, out, errw := runLint(t, "-json", jsonPath, "-sarif", sarifPath, "internal/core")
+	if code != 0 {
+		t.Fatalf("artifact run: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+
+	art, err := obs.ReadLintArtifact(jsonPath)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+	if art.Schema != obs.LintSchema {
+		t.Fatalf("artifact schema = %q, want %q", art.Schema, obs.LintSchema)
+	}
+	verdicts := make(map[string]string)
+	declared := make(map[string]string)
+	bounded := make(map[string]bool)
+	for _, a := range art.Algorithms {
+		verdicts[a.Type] = a.Verdict
+		declared[a.Type] = a.RMR.Declared
+		bounded[a.Type] = a.RMR.Bounded
+	}
+	// The verdict table always covers the full algorithm set, even on a
+	// scoped run: the engine's view is module-wide.
+	if got := verdicts["internal/core.GDSM"]; got != obs.VerdictLocal {
+		t.Errorf("GDSM verdict = %q, want %q", got, obs.VerdictLocal)
+	}
+	if got := verdicts["internal/baseline.TASLock"]; got != obs.VerdictNonlocalDeclared {
+		t.Errorf("TASLock verdict = %q, want %q", got, obs.VerdictNonlocalDeclared)
+	}
+	if declared["internal/core.GDSM"] != "O(1)" || !bounded["internal/core.GDSM"] {
+		t.Errorf("GDSM rmr = (%q, bounded=%v), want (O(1), true)",
+			declared["internal/core.GDSM"], bounded["internal/core.GDSM"])
+	}
+
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("reading SARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("parsing SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "fetchphilint" {
+		t.Errorf("unexpected SARIF shape: %s", raw)
+	}
+}
+
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	current := filepath.Join(dir, "current.json")
+	if code, out, errw := runLint(t, "-json", current, "internal/core"); code != 0 {
+		t.Fatalf("capture run: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+
+	// Gating against our own fresh artifact passes.
+	code, out, _ := runLint(t, "-baseline", current, "internal/core")
+	if code != 0 {
+		t.Fatalf("self-baseline gate: exit %d, want 0\n%s", code, out)
+	}
+
+	// A baseline that remembers TASLock as locally-spinning makes the
+	// current nonlocal-declared verdict a locality regression.
+	art, err := obs.ReadLintArtifact(current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range art.Algorithms {
+		if art.Algorithms[i].Type == "internal/baseline.TASLock" {
+			art.Algorithms[i].Verdict = obs.VerdictLocal
+		}
+	}
+	stricter := filepath.Join(dir, "stricter.json")
+	if err := art.WriteFile(stricter); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runLint(t, "-baseline", stricter, "internal/core")
+	if code != 1 {
+		t.Fatalf("stricter baseline gate: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "GATE") || !strings.Contains(out, "TASLock") {
+		t.Errorf("gate output missing TASLock regression:\n%s", out)
+	}
+
+	// With a gate in force, a planted finding that the baseline also
+	// carries is grandfathered rather than fatal.
+	rel := writeStalePackage(t)
+	planted := filepath.Join(dir, "planted.json")
+	if code, out, errw := runLint(t, "-json", planted, rel, "internal/core"); code != 1 {
+		t.Fatalf("planted capture run: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errw)
+	}
+	code, out, _ = runLint(t, "-baseline", planted, rel, "internal/core")
+	if code != 0 {
+		t.Fatalf("grandfathered finding: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// writeStalePackage creates a throwaway package inside the module whose
+// only content is a well-formed ignore directive that suppresses
+// nothing, and returns its module-relative path.
+func writeStalePackage(t *testing.T) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(root, "linttmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	src := `// Package linttmp exists only for fetchphilint's CLI tests.
+package linttmp
+
+//fetchphilint:ignore determinism planted by TestFindingsExitOne; suppresses nothing
+var Unused = 0
+`
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.ToSlash(rel)
+}

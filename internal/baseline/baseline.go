@@ -27,6 +27,8 @@ type Word = memsim.Word
 // TASLock is a test-and-test-and-set lock on a single global word.
 // Waiting re-reads the lock word, so every waiter pays an RMR per
 // release on CC and spins remotely on DSM.
+//
+//fetchphilint:nonlocal every waiter spins on the single global lock word
 type TASLock struct {
 	lock memsim.Var
 }
@@ -56,6 +58,8 @@ func (l *TASLock) Release(p *memsim.Proc) {
 
 // TicketLock serializes processes with a fetch-and-increment ticket
 // dispenser and a grant counter all waiters watch.
+//
+//fetchphilint:nonlocal all waiters spin on the shared grant counter
 type TicketLock struct {
 	next  memsim.Var
 	owner memsim.Var
@@ -92,6 +96,8 @@ func (l *TicketLock) Release(p *memsim.Proc) {
 // releaser sets the successor slot. Slots are dynamically assigned, so
 // on CC the spin is local (cacheable) but on DSM it is not — exactly
 // the paper's Sec. 1 characterization.
+//
+//fetchphilint:nonlocal slots are dynamically assigned, so the spin home is unknowable (O(1) on CC only, per the paper's Sec. 1 table)
 type AndersonLock struct {
 	tail  memsim.Var
 	slots []memsim.Var
@@ -142,6 +148,8 @@ func (l *AndersonLock) Release(p *memsim.Proc) {
 // enqueues, and each process waits for its predecessor's per-process
 // flag to flip. Spinning is on the predecessor's flag: cacheable on CC,
 // remote on DSM.
+//
+//fetchphilint:nonlocal spins on the predecessor's flag, not its own (O(1) on CC only, per the paper's Sec. 1 table)
 type GraunkeThakkarLock struct {
 	tail  memsim.Var
 	flags []memsim.Var // per process, plus a dummy slot n

@@ -140,6 +140,8 @@ func (l *MCSSwapOnlyLock) Release(p *memsim.Proc) {
 // enqueues by swapping its own node into the tail and spins on its
 // predecessor's node. The spin target belongs to another process, so
 // CLH is local-spin on CC but not on DSM — a useful contrast to MCS.
+//
+//fetchphilint:nonlocal spins on the predecessor's node, homed at whichever process last owned it
 type CLHLock struct {
 	tail  memsim.Var
 	nodes []memsim.Var // locked flags, one per node (N+1 nodes)

@@ -35,6 +35,12 @@ const (
 // updated by the fetch-and-φ primitive, are switched over time so that
 // neither tail is ever hit by more than 2N invocations between resets;
 // the heads of the two queues are arbitrated by a two-process mutex.
+// Its busy-waits target globally-homed signal and state words — the
+// paper presents it as O(1) on CC machines and applies the Sec. 3
+// transformation (G-DSM) to make the spinning local on DSM.
+//
+//fetchphilint:nonlocal G-CC is the paper's CC-machine algorithm; G-DSM is its local-spin DSM counterpart
+//fetchphilint:rmr O(1) Theorem 1: O(1) RMR on CC for any primitive of rank >= 2N
 type GCC struct {
 	m     *memsim.Machine
 	prim  phi.Primitive

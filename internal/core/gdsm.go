@@ -23,6 +23,8 @@ import (
 //
 // Fig. 3's boldface lines map to Site.Wait (13–21, 28–36) and
 // Site.Signal (4–8, 41–45, 46–50).
+//
+//fetchphilint:rmr O(1) Theorem 1 via the Sec. 3 transformation: O(1) RMR on CC and DSM
 type GDSM struct {
 	m     *memsim.Machine
 	prim  phi.Primitive

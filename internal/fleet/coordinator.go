@@ -100,7 +100,6 @@ func NewCoordinator(cfg Config, opts CoordinatorOptions) *Coordinator {
 	}
 	now := opts.Now
 	if now == nil {
-		//fetchphilint:ignore determinism lease deadlines gate re-offers only, never results
 		now = time.Now
 	}
 	return &Coordinator{cfg: cfg.withDefaults(), opts: opts, now: now, done: make(chan struct{})}

@@ -104,6 +104,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // diagnostics, sorted by position, with //fetchphilint:ignore
 // directives applied.
 func Check(a *Analyzer, pkg *Package) []Diagnostic {
+	return Suppress(pkg, CheckRaw(a, pkg))
+}
+
+// CheckRaw runs one analyzer over one loaded package and returns its
+// diagnostics sorted by position, without applying ignore directives.
+// The ignoreaudit check consumes these raw diagnostics to decide which
+// directives still suppress something.
+func CheckRaw(a *Analyzer, pkg *Package) []Diagnostic {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -112,8 +120,7 @@ func Check(a *Analyzer, pkg *Package) []Diagnostic {
 		Info:     pkg.Info,
 	}
 	a.Run(pass)
-	dirs, _ := directives(pkg)
-	diags := suppress(pass.diags, dirs)
+	diags := pass.diags
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -125,6 +132,13 @@ func Check(a *Analyzer, pkg *Package) []Diagnostic {
 		return a.Column < b.Column
 	})
 	return diags
+}
+
+// Suppress filters out the diagnostics covered by pkg's
+// //fetchphilint:ignore directives.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs, _ := directives(pkg)
+	return suppress(diags, dirs)
 }
 
 // directivePrefix introduces a suppression comment:

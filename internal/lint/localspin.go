@@ -1,0 +1,67 @@
+package lint
+
+// localspin is the static counterpart of the dynamic non-local-spin
+// accounting in memsim: for every Proc.Await reachable from an
+// algorithm's entry or exit section it demands a proof — produced by
+// the abstract interpreter — that the watched variable is homed at
+// the awaiting process on DSM. Algorithms that intentionally spin on
+// remote memory (the paper's Sec. 1 prior-work table: T. Anderson and
+// Graunke–Thakkar are O(1) only on CC) must say so with an explicit
+//
+//	//fetchphilint:nonlocal <reason>
+//
+// declaration on the algorithm type; an undeclared non-local spin, an
+// unprovable (incomplete) analysis, or a stale declaration on an
+// algorithm that is in fact local all fail the build.
+
+import "fmt"
+
+// LocalSpin proves the paper's spin-locality claims statically.
+var LocalSpin = &ModuleAnalyzer{
+	Name: "localspin",
+	Doc: "prove every busy-wait reachable from an algorithm's entry/exit " +
+		"sections spins on memory homed at the awaiting process on DSM; " +
+		"intentionally non-local algorithms must carry a " +
+		"//fetchphilint:nonlocal declaration",
+	Run: runLocalSpin,
+}
+
+func runLocalSpin(pass *ModulePass) {
+	e := pass.Engine
+	for _, d := range e.badDecls {
+		if d.Analyzer == pass.Analyzer.Name {
+			pass.report(d)
+		}
+	}
+	for _, d := range e.strayDecls {
+		pass.report(d)
+	}
+	for _, algo := range e.Algorithms() {
+		rep := e.Analyze(algo)
+		nonlocal := rep.NonLocalSites()
+		switch {
+		case !rep.Complete && algo.Nonlocal == nil:
+			pass.Reportf(algo.Pos,
+				"cannot certify %s as local-spin on %s: the dataflow analysis is incomplete (unresolved constructor, callee, or watch argument); make the home values provable or declare //fetchphilint:nonlocal",
+				algo.TypeKey, rep.Model)
+		case len(nonlocal) > 0 && algo.Nonlocal == nil:
+			for _, s := range nonlocal {
+				pass.diags = append(pass.diags, Diagnostic{
+					Pos:      s.Pos,
+					Analyzer: pass.Analyzer.Name,
+					Message: fmt.Sprintf(
+						"%s: non-local spin on %s (home on %s: %s; via %s); home it at the awaiting process or declare //fetchphilint:nonlocal on %s",
+						algo.TypeKey, s.Expr, rep.Model, s.Home, s.Chain, algo.Name),
+				})
+			}
+		case rep.Local() && algo.Nonlocal != nil:
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      algo.Nonlocal.Pos,
+				Analyzer: pass.Analyzer.Name,
+				Message: fmt.Sprintf(
+					"stale nonlocal declaration: every spin in %s is proven local on %s; delete the //fetchphilint:nonlocal directive",
+					algo.TypeKey, rep.Model),
+			})
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package ignoreaudit is the corpus for the ignoreaudit check: a live
+// directive (suppressing a real awaitwatch diagnostic) passes silently
+// while a directive suppressing nothing is reported as stale.
+package ignoreaudit
+
+import "fetchphi/internal/memsim"
+
+// Word mirrors the algorithm packages' local alias.
+type Word = memsim.Word
+
+// suppressed carries a live directive: the unwatched read of b is a
+// real awaitwatch diagnostic, so the directive is doing work.
+func suppressed(p *memsim.Proc, a, b memsim.Var) {
+	p.Await(func(read func(memsim.Var) Word) bool {
+		//fetchphilint:ignore awaitwatch corpus: deliberately unwatched read
+		return read(a) != 0 || read(b) != 0
+	}, a)
+}
+
+// clean has no diagnostics at all, making its directive stale.
+func clean(p *memsim.Proc, a memsim.Var) {
+	//fetchphilint:ignore awaitwatch corpus: suppresses nothing // want "stale ignore directive"
+	p.AwaitTrue(a)
+}
+
+var _ = suppressed
+var _ = clean

@@ -1,0 +1,134 @@
+// Package localspin is the corpus for the localspin module analyzer:
+// each `// want` comment marks a seeded violation of the spin-locality
+// discipline; the silent algorithms are certification cases that must
+// produce no diagnostics (including no "cannot certify" fallback, so
+// they double as regression tests for the dataflow engine's coverage
+// of helpers, method values, and closures).
+package localspin
+
+import "fetchphi/internal/memsim"
+
+// Word mirrors the algorithm packages' local alias.
+type Word = memsim.Word
+
+// GoodLock spins only on its own per-process flag, through a helper
+// defined in another file of the package (multi-file flow).
+type GoodLock struct {
+	flags []memsim.Var
+}
+
+// NewGoodLock allocates the lock on m.
+func NewGoodLock(m *memsim.Machine) *GoodLock {
+	return &GoodLock{flags: m.NewPerProcArray("good.flag", 0)}
+}
+
+// Acquire implements the entry section.
+func (l *GoodLock) Acquire(p *memsim.Proc) {
+	waitOwn(p, l.flags)
+}
+
+// Release implements the exit section.
+func (l *GoodLock) Release(p *memsim.Proc) {
+	p.Write(l.flags[p.ID()], 0)
+}
+
+// BadLock spins on a globally-homed word with no declaration.
+type BadLock struct {
+	word memsim.Var
+}
+
+// NewBadLock allocates the lock on m.
+func NewBadLock(m *memsim.Machine) *BadLock {
+	return &BadLock{word: m.NewVar("bad.word", memsim.HomeGlobal, 0)}
+}
+
+// Acquire implements the entry section.
+func (l *BadLock) Acquire(p *memsim.Proc) {
+	p.AwaitEq(l.word, 0) // want "BadLock: non-local spin on l.word"
+}
+
+// Release implements the exit section.
+func (l *BadLock) Release(p *memsim.Proc) {
+	p.Write(l.word, 0)
+}
+
+// DeclaredLock spins remotely on purpose and says so: no diagnostics.
+//
+//fetchphilint:nonlocal corpus: the declared-remote case
+type DeclaredLock struct {
+	word memsim.Var
+}
+
+// NewDeclaredLock allocates the lock on m.
+func NewDeclaredLock(m *memsim.Machine) *DeclaredLock {
+	return &DeclaredLock{word: m.NewVar("declared.word", memsim.HomeGlobal, 0)}
+}
+
+// Acquire implements the entry section.
+func (l *DeclaredLock) Acquire(p *memsim.Proc) {
+	p.AwaitEq(l.word, 0)
+}
+
+// Release implements the exit section.
+func (l *DeclaredLock) Release(p *memsim.Proc) {
+	p.Write(l.word, 0)
+}
+
+// StaleLock carries a nonlocal declaration the engine can refute.
+//
+//fetchphilint:nonlocal corpus: refutable claim // want "stale nonlocal declaration"
+type StaleLock struct {
+	flags []memsim.Var
+}
+
+// NewStaleLock allocates the lock on m.
+func NewStaleLock(m *memsim.Machine) *StaleLock {
+	return &StaleLock{flags: m.NewPerProcArray("stale.flag", 0)}
+}
+
+// Acquire implements the entry section.
+func (l *StaleLock) Acquire(p *memsim.Proc) {
+	p.AwaitEq(l.flags[p.ID()], 0)
+}
+
+// Release implements the exit section.
+func (l *StaleLock) Release(p *memsim.Proc) {
+	p.Write(l.flags[p.ID()], 0)
+}
+
+// RebindLock captures a watch variable in a closure and rebinds it to
+// a global before the closure runs: Go closures capture by reference,
+// so the spin is on the rebound (global) variable.
+type RebindLock struct {
+	own    []memsim.Var
+	global memsim.Var
+}
+
+// NewRebindLock allocates the lock on m.
+func NewRebindLock(m *memsim.Machine) *RebindLock {
+	return &RebindLock{
+		own:    m.NewPerProcArray("rebind.own", 0),
+		global: m.NewVar("rebind.global", memsim.HomeGlobal, 0),
+	}
+}
+
+// Acquire implements the entry section.
+func (l *RebindLock) Acquire(p *memsim.Proc) {
+	v := l.own[p.ID()]
+	wait := func() {
+		p.AwaitTrue(v) // want "RebindLock: non-local spin on v"
+	}
+	v = l.global
+	wait()
+}
+
+// Release implements the exit section.
+func (l *RebindLock) Release(p *memsim.Proc) {
+	p.Write(l.global, 0)
+}
+
+// NotAnAlgorithm has no entry sections, so its declaration certifies
+// nothing.
+//
+//fetchphilint:nonlocal corpus: misplaced // want "not an algorithm"
+type NotAnAlgorithm struct{}

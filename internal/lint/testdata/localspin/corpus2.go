@@ -1,0 +1,35 @@
+package localspin
+
+import "fetchphi/internal/memsim"
+
+// waitOwn is GoodLock's spin helper: the engine must carry the
+// per-process home of flags across the file and call boundary.
+func waitOwn(p *memsim.Proc, flags []memsim.Var) {
+	p.AwaitTrue(flags[p.ID()])
+}
+
+// MethodValueLock reaches its spin through a method value: binding
+// l.spin to a variable must not lose the receiver's field state.
+type MethodValueLock struct {
+	flags []memsim.Var
+}
+
+// NewMethodValueLock allocates the lock on m.
+func NewMethodValueLock(m *memsim.Machine) *MethodValueLock {
+	return &MethodValueLock{flags: m.NewPerProcArray("mv.flag", 0)}
+}
+
+// Acquire implements the entry section.
+func (l *MethodValueLock) Acquire(p *memsim.Proc) {
+	wait := l.spin
+	wait(p)
+}
+
+func (l *MethodValueLock) spin(p *memsim.Proc) {
+	p.AwaitEq(l.flags[p.ID()], 1)
+}
+
+// Release implements the exit section.
+func (l *MethodValueLock) Release(p *memsim.Proc) {
+	p.Write(l.flags[p.ID()], 0)
+}

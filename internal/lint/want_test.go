@@ -22,9 +22,14 @@ func runWant(t *testing.T, a *Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("load corpus: %v", err)
 	}
-	diags := Check(a, pkg)
-	wants := parseWants(t, pkg)
+	matchWants(t, Check(a, pkg), parseWants(t, pkg))
+}
 
+// matchWants checks diagnostics against want expectations both ways:
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by a want.
+func matchWants(t *testing.T, diags []Diagnostic, wants []want) {
+	t.Helper()
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		claimed := false
