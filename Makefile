@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint gate clean
+.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite, gated against the checked-in lint baseline), build,
 # tests, the race detector over the genuinely concurrent packages, the
 # trace-pipeline smoke test, the sharded model-checker smoke, the
-# distributed-fleet smoke, and the claims-conformance gate + smoke.
-ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke claims claims-smoke
+# distributed-fleet + telemetry smokes, and the claims-conformance
+# gate + smoke.
+ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint — the per-package analyzers
 # (awaitwatch, memsimpurity, determinism, phasebalance), the
@@ -36,9 +37,10 @@ test:
 # race covers the packages that use real goroutines: the native spin
 # locks, the sharded explorer in memsim, the parallel sweep engine and
 # sharded checker in harness, the obs artifact layer they record into,
-# and the coordinator/worker fleet.
+# the coordinator/worker fleet, and the telemetry registry every fleet
+# component observes into concurrently.
 race:
-	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/...
+	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/... ./internal/telemetry/...
 
 # trace-smoke exercises the whole trace pipeline on a real workload:
 # record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
@@ -66,6 +68,13 @@ explore-smoke:
 # bit for bit; the in-repo equivalence tests enforce that invariant.
 fleet-smoke:
 	$(GO) run ./cmd/fleet run -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 2 -out bench/current/explore/EXPLORE_fleet_g-dsm.json
+
+# telemetry-smoke gates CI on the observability layer: a loopback fleet
+# run must leave behind a valid, Complete fetchphi.capacity/v1 artifact
+# with nonzero schedule/lease/throughput numbers, and /v1/metrics must
+# answer 200 with counters that agree with the artifact.
+telemetry-smoke:
+	$(GO) run ./cmd/fleet smoke -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 2 -capacity bench/current/explore/CAPACITY_g-dsm.json
 
 # claims evaluates the paper-claims registry over the checked-in
 # bench/baseline artifacts (so it works on a fresh clone, with no

@@ -34,6 +34,12 @@
 // re-exploring finished waves, and the verdict stays bit-identical to
 // the plain path — the golden test pins the -out artifacts equal
 // across both.
+//
+// With -capacity, the run (also via the campaign engine) additionally
+// records a fetchphi.capacity/v1 throughput artifact — wave counts and
+// timings, schedules/sec — the same format a fleet coordinator writes,
+// so local and distributed capacity are tracked side by side. Lease
+// counters stay zero on this path: the local executor leases nothing.
 package main
 
 import (
@@ -82,6 +88,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		progress    = fs.Bool("progress", false, "stream exploration progress to stderr (observation-only)")
 		out         = fs.String("out", "", "write a fetchphi.explore/v1 artifact to this path")
 		checkpoint  = fs.String("checkpoint", "", "persist completed waves to this path and resume from it (fleet checkpoint format)")
+		capacity    = fs.String("capacity", "", "write a fetchphi.capacity/v1 throughput artifact to this path (runs via the campaign engine)")
 		requireFull = fs.Bool("require-exhausted", false, "exit 1 unless every model's schedule space was exhausted within -maxruns")
 		list        = fs.Bool("list", false, "list known algorithms and exit")
 	)
@@ -131,12 +138,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	var reports []harness.ModelReport
 	var checkErr error
-	if *checkpoint != "" {
+	if *checkpoint != "" || *capacity != "" {
 		cfg := fleet.Config{Algorithm: *alg, N: *n, Entries: *entries, Preemptions: *preemptions, MaxRuns: *maxRuns}
 		camp := &fleet.Campaign{
 			Config:         cfg,
 			Exec:           &fleet.LocalExecutor{Build: builder, Config: cfg, Shards: w},
 			CheckpointPath: *checkpoint,
+			CapacityPath:   *capacity,
 			CreatedBy:      "cmd/explore",
 			Commit:         gitCommit(),
 			Progress:       opts.Progress,

@@ -14,13 +14,28 @@
 //	fleet serve  -listen :8423 [-alg g-dsm] [-n 2] [-entries 2]
 //	             [-preemptions 2] [-maxruns 500000] [-lease-size 256]
 //	             [-lease-timeout 30s] [-checkpoint ck.json] [-out art.json]
+//	             [-capacity cap.json] [-pprof]
 //	fleet work   -coordinator http://host:8423 [-id worker-name] [-shards 0]
-//	fleet status -coordinator http://host:8423
+//	fleet status -coordinator http://host:8423 [-watch] [-interval 1s]
+//	             [-artifacts bench/current/explore]
 //	fleet run    [-workers 2] [-shards 1] [...serve campaign flags]
+//	fleet smoke  -capacity cap.json [-workers 2] [...campaign flags]
 //
 // `fleet run` is the single-process convenience form: an in-process
 // coordinator plus -workers in-process workers over loopback HTTP,
 // exercising the full lease/report protocol.
+//
+// Telemetry: the coordinator serves its live metrics registry on
+// /v1/metrics (counters, gauges, and µs histograms, sorted by name);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// profiling a hot coordinator. With -capacity, the campaign writes a
+// fetchphi.capacity/v1 throughput artifact next to the checkpoint —
+// rewritten after every wave, finalized on completion. `fleet status
+// -watch` renders a refreshing terminal dashboard (campaign progress,
+// worker liveness, re-lease churn, and algorithm×model coverage from
+// the -artifacts directory) until the campaign ends. `fleet smoke` is
+// the CI gate: a loopback fleet run that asserts a valid capacity
+// artifact and a live /v1/metrics.
 //
 // With -checkpoint, the coordinator persists every completed wave to
 // the given path (the fetchphi.explore/v1 Checkpoint extension, the
@@ -38,6 +53,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"strings"
@@ -61,7 +77,7 @@ func gitCommit() string {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: fleet <serve|work|status|run> [flags]  (fleet <cmd> -h for details)")
+	fmt.Fprintln(stderr, "usage: fleet <serve|work|status|run|smoke> [flags]  (fleet <cmd> -h for details)")
 	return 2
 }
 
@@ -80,6 +96,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return runStatus(argv[1:], stdout, stderr)
 	case "run":
 		return runLocal(argv[1:], stdout, stderr)
+	case "smoke":
+		return runSmoke(argv[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "fleet: unknown subcommand %q\n", argv[0])
 		return usage(stderr)
@@ -152,7 +170,9 @@ func runServe(argv []string, stdout, stderr io.Writer) int {
 		leaseSize    = fs.Int("lease-size", fleet.DefaultLeaseSize, "schedules per lease")
 		leaseTimeout = fs.Duration("lease-timeout", fleet.DefaultLeaseTimeout, "re-lease deadline for unreported ranges")
 		checkpoint   = fs.String("checkpoint", "", "persist completed waves to this path and resume from it")
+		capacity     = fs.String("capacity", "", "write a fetchphi.capacity/v1 throughput artifact to this path (rewritten per wave)")
 		out          = fs.String("out", "", "write a fetchphi.explore/v1 artifact to this path")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the coordinator listener")
 		grace        = fs.Duration("grace", time.Second, "how long to keep serving after completion so workers observe done")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -170,6 +190,7 @@ func runServe(argv []string, stdout, stderr io.Writer) int {
 		LeaseSize:      *leaseSize,
 		LeaseTimeout:   *leaseTimeout,
 		CheckpointPath: *checkpoint,
+		CapacityPath:   *capacity,
 		CreatedBy:      "cmd/fleet",
 		Commit:         gitCommit(),
 	})
@@ -178,7 +199,11 @@ func runServe(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fleet: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	handler := coord.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Fprintf(stdout, "fleet: serving %s N=%d entries=%d K=%d on %s\n",
@@ -191,6 +216,21 @@ func runServe(argv []string, stdout, stderr io.Writer) int {
 	//fetchphilint:ignore determinism shutdown grace period; the campaign result is already fixed
 	time.Sleep(*grace)
 	return code
+}
+
+// withPprof mounts the opt-in net/http/pprof handlers in front of the
+// coordinator API — the profiling hook for a hot coordinator. Off by
+// default: profiling endpoints on a control plane should be a
+// deliberate choice, not ambient surface.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func runWork(argv []string, stdout, stderr io.Writer) int {
@@ -231,13 +271,21 @@ func runWork(argv []string, stdout, stderr io.Writer) int {
 func runStatus(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fleet status", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	coordinator := fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+		watch       = fs.Bool("watch", false, "refresh a terminal coverage dashboard until the campaign ends")
+		interval    = fs.Duration("interval", time.Second, "poll interval for -watch")
+		artifacts   = fs.String("artifacts", "bench/current/explore", "explore-artifact directory for the coverage grid")
+	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if *coordinator == "" {
 		fmt.Fprintln(stderr, "fleet: -coordinator is required")
 		return 2
+	}
+	if *watch {
+		return runWatch(stdout, stderr, *coordinator, *interval, *artifacts)
 	}
 	resp, err := http.Get(*coordinator + fleet.PathStatus)
 	if err != nil {
@@ -257,10 +305,39 @@ func runStatus(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "; %d leases, %d re-leases, %d stale reports\n",
 		st.Leases, st.ReLeases, st.StaleReports)
+	fmt.Fprintf(stdout, "waves %d, schedules %d\n", st.Waves, st.Schedules)
+	for _, ws := range st.Workers {
+		fmt.Fprintf(stdout, "worker %s: %d leases, %d schedules, seen %dms ago\n",
+			ws.Worker, ws.Leases, ws.Schedules, ws.LastSeenMS)
+	}
 	if st.Failure != "" {
 		fmt.Fprintf(stdout, "failure: %s\n", st.Failure)
 	}
 	return 0
+}
+
+// runWatch drives the -watch loop: poll, render a frame, and keep
+// going until the campaign reports done (exit 0) or failed (exit 1).
+func runWatch(stdout, stderr io.Writer, coordinator string, interval time.Duration, artifacts string) int {
+	algs := experiments.AlgorithmNames()
+	models := coverageModels()
+	for {
+		state, err := fetchState(http.DefaultClient, coordinator)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleet: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, clearScreen)
+		renderDashboard(stdout, state, algs, models, loadCoverage(artifacts), artifacts)
+		switch state.Status.State {
+		case "done":
+			return 0
+		case "failed":
+			return 1
+		}
+		//fetchphilint:ignore determinism watch-dashboard poll pacing; renders already-fixed state
+		time.Sleep(interval)
+	}
 }
 
 func runLocal(argv []string, stdout, stderr io.Writer) int {
@@ -272,6 +349,7 @@ func runLocal(argv []string, stdout, stderr io.Writer) int {
 		shards     = fs.Int("shards", 1, "wave-shard width per worker")
 		leaseSize  = fs.Int("lease-size", fleet.DefaultLeaseSize, "schedules per lease")
 		checkpoint = fs.String("checkpoint", "", "persist completed waves to this path and resume from it")
+		capacity   = fs.String("capacity", "", "write a fetchphi.capacity/v1 throughput artifact to this path")
 		out        = fs.String("out", "", "write a fetchphi.explore/v1 artifact to this path")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -293,6 +371,7 @@ func runLocal(argv []string, stdout, stderr io.Writer) int {
 	coord := fleet.NewCoordinator(cfg, fleet.CoordinatorOptions{
 		LeaseSize:      *leaseSize,
 		CheckpointPath: *checkpoint,
+		CapacityPath:   *capacity,
 		CreatedBy:      "cmd/fleet",
 		Commit:         gitCommit(),
 	})

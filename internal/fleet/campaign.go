@@ -8,6 +8,7 @@ import (
 	"fetchphi/internal/harness"
 	"fetchphi/internal/memsim"
 	"fetchphi/internal/obs"
+	"fetchphi/internal/telemetry"
 )
 
 // This file is the campaign engine: the wave loop of memsim's
@@ -97,6 +98,20 @@ type Campaign struct {
 	// commit it is byte-reproducible.
 	CreatedBy string
 	Commit    string
+	// CapacityPath, when non-empty, is the fetchphi.capacity/v1
+	// artifact: rewritten atomically after every completed wave
+	// (Complete=false) and finalized when the campaign ends
+	// (Complete=true). Empty disables it.
+	CapacityPath string
+	// Metrics receives the campaign's telemetry (wave counts/timings,
+	// schedule counts, and — when Exec is a Coordinator sharing the
+	// registry — the lease counters). Nil selects a fresh wall-clock
+	// registry. For byte-identical capacity artifacts, inject a fake
+	// clock: the campaign reads the registry clock only at
+	// deterministic points (two reads per wave, one per capacity
+	// write), so a step clock yields identical artifacts at any worker
+	// count.
+	Metrics *telemetry.Registry
 	// AfterWave, if non-nil, runs after each wave (and each model
 	// completion) has been checkpointed; returning a non-nil error
 	// aborts the campaign immediately with that error — the
@@ -118,6 +133,9 @@ func (c *Campaign) Run() ([]harness.ModelReport, *obs.ExploreArtifact, error) {
 	models, err := cfg.parseModels()
 	if err != nil {
 		return nil, nil, err
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.New(nil)
 	}
 
 	states := make([]*modelState, len(models))
@@ -146,6 +164,9 @@ func (c *Campaign) Run() ([]harness.ModelReport, *obs.ExploreArtifact, error) {
 		if err := art.WriteFile(c.CheckpointPath); err != nil {
 			return nil, nil, err
 		}
+	}
+	if err := c.writeCapacity(cfg, states, true); err != nil {
+		return nil, nil, err
 	}
 	reports := make([]harness.ModelReport, len(states))
 	var checkErr error
@@ -182,7 +203,11 @@ func (c *Campaign) runModel(cfg Config, st *modelState, all []*modelState) error
 		if c.Progress != nil {
 			c.Progress(st.model, memsim.ExploreProgress{Depth: st.nextDepth, Frontier: len(wave), Runs: st.runs})
 		}
+		stop := c.Metrics.Time(MetricWaveUS)
 		outs := c.Exec.ExecWave(st.model, st.nextDepth, wave)
+		stop()
+		c.Metrics.Counter(MetricWaves).Inc()
+		c.Metrics.Counter(MetricSchedules).Add(int64(len(wave)))
 		if len(outs) != len(wave) {
 			return fmt.Errorf("fleet: executor returned %d outcomes for a %d-schedule wave", len(outs), len(wave))
 		}
@@ -221,17 +246,69 @@ func (c *Campaign) runModel(cfg Config, st *modelState, all []*modelState) error
 	return c.afterWave(cfg, st, all)
 }
 
-// afterWave persists the checkpoint and fires the AfterWave hook.
+// afterWave persists the checkpoint and capacity artifacts and fires
+// the AfterWave hook.
 func (c *Campaign) afterWave(cfg Config, st *modelState, all []*modelState) error {
 	if c.CheckpointPath != "" {
 		if err := c.artifact(cfg, all, false).WriteFile(c.CheckpointPath); err != nil {
 			return err
 		}
 	}
+	if err := c.writeCapacity(cfg, all, false); err != nil {
+		return err
+	}
 	if c.AfterWave != nil {
 		return c.AfterWave(st.model, st.nextDepth)
 	}
 	return nil
+}
+
+// writeCapacity rewrites the capacity artifact from the current
+// telemetry snapshot (a no-op without a CapacityPath). Exactly one
+// registry-clock read per call, at a deterministic point in the wave
+// loop — the invariant that keeps fake-clock artifacts byte-identical.
+func (c *Campaign) writeCapacity(cfg Config, states []*modelState, complete bool) error {
+	if c.CapacityPath == "" {
+		return nil
+	}
+	return c.capacity(cfg, states, complete).WriteFile(c.CapacityPath)
+}
+
+// capacity builds the fetchphi.capacity/v1 artifact: campaign-level
+// aggregates only. Per-worker metrics stay out deliberately — which
+// worker ran which lease differs run to run and with worker count, so
+// admitting them would break the artifact's byte-identity contract.
+func (c *Campaign) capacity(cfg Config, states []*modelState, complete bool) *obs.CapacityArtifact {
+	snap := c.Metrics.Snapshot()
+	art := &obs.CapacityArtifact{
+		Schema:    obs.CapacitySchema,
+		Algorithm: cfg.Algorithm,
+		CreatedBy: c.CreatedBy,
+		Commit:    c.Commit,
+		N:         cfg.N, Entries: cfg.Entries, Preemptions: cfg.Preemptions,
+		MaxRuns:         cfg.MaxRuns,
+		Complete:        complete,
+		ElapsedMS:       float64(snap.ElapsedUS) / 1000,
+		Waves:           snap.Counter(MetricWaves),
+		Schedules:       snap.Counter(MetricSchedules),
+		SchedulesPerSec: snap.PerSec(MetricSchedules),
+		Leases:          snap.Counter(MetricLeases),
+		ReLeases:        snap.Counter(MetricReLeases),
+		StaleReports:    snap.Counter(MetricStaleReports),
+		WaveUS:          snap.Histogram(MetricWaveUS),
+	}
+	if art.Leases > 0 {
+		art.ReLeaseRate = float64(art.ReLeases) / float64(art.Leases)
+	}
+	for _, st := range states {
+		art.Models = append(art.Models, obs.CapacityModel{
+			Model:     st.model.String(),
+			Done:      st.done,
+			Waves:     len(st.depthRuns),
+			Schedules: st.runs,
+		})
+	}
+	return art
 }
 
 // artifact serializes the campaign state as a fetchphi.explore/v1

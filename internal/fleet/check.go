@@ -17,11 +17,12 @@ type CheckOptions struct {
 	Workers int
 	// Shards is each worker's local wave-shard width (default 1).
 	Shards int
-	// LeaseSize, LeaseTimeout, CheckpointPath, CreatedBy, Commit pass
-	// through to the coordinator.
+	// LeaseSize, LeaseTimeout, CheckpointPath, CapacityPath, CreatedBy,
+	// Commit pass through to the coordinator.
 	LeaseSize      int
 	LeaseTimeout   time.Duration
 	CheckpointPath string
+	CapacityPath   string
 	CreatedBy      string
 	Commit         string
 }
@@ -39,6 +40,7 @@ func Check(b harness.Builder, cfg Config, opts CheckOptions) ([]harness.ModelRep
 		LeaseSize:      opts.LeaseSize,
 		LeaseTimeout:   opts.LeaseTimeout,
 		CheckpointPath: opts.CheckpointPath,
+		CapacityPath:   opts.CapacityPath,
 		CreatedBy:      opts.CreatedBy,
 		Commit:         opts.Commit,
 	})

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"fetchphi/internal/harness"
 	"fetchphi/internal/memsim"
 	"fetchphi/internal/obs"
+	"fetchphi/internal/telemetry"
 )
 
 // Coordinator defaults.
@@ -40,6 +42,14 @@ type CoordinatorOptions struct {
 	RetryMS int
 	// CheckpointPath enables resumable checkpoints (see Campaign).
 	CheckpointPath string
+	// CapacityPath enables the fetchphi.capacity/v1 artifact, written
+	// next to the checkpoint after every wave and finalized when the
+	// campaign ends (see Campaign.CapacityPath).
+	CapacityPath string
+	// Metrics is the coordinator's telemetry registry; its clock is the
+	// telemetry clock, wholly separate from Now (the lease clock). Nil
+	// selects a fresh wall-clock registry.
+	Metrics *telemetry.Registry
 	// CreatedBy and Commit stamp the artifact header
 	// (default "fleet-coordinator" / empty).
 	CreatedBy string
@@ -67,6 +77,7 @@ type Coordinator struct {
 	cfg      Config
 	opts     CoordinatorOptions
 	now      func() time.Time
+	metrics  *telemetry.Registry
 	leaseSeq atomic.Int64
 
 	mu           sync.Mutex
@@ -74,12 +85,23 @@ type Coordinator struct {
 	events       []LeaseEvent
 	reLeases     int
 	staleReports int
+	workers      map[string]*workerState
 	finished     bool
 	reports      []harness.ModelReport
 	artifact     *obs.ExploreArtifact
 	err          error
 
 	done chan struct{}
+}
+
+// workerState is the coordinator's per-worker liveness ledger, keyed
+// by worker ID and read by the status endpoint. lastSeen is per the
+// lease clock — it gates nothing, so the one nondeterministic input
+// stays confined to display.
+type workerState struct {
+	leases    int64
+	schedules int64
+	lastSeen  time.Time
 }
 
 // NewCoordinator prepares a coordinator for one campaign. Call Run
@@ -102,8 +124,19 @@ func NewCoordinator(cfg Config, opts CoordinatorOptions) *Coordinator {
 	if now == nil {
 		now = time.Now
 	}
-	return &Coordinator{cfg: cfg.withDefaults(), opts: opts, now: now, done: make(chan struct{})}
+	if opts.Metrics == nil {
+		opts.Metrics = telemetry.New(nil)
+	}
+	return &Coordinator{
+		cfg: cfg.withDefaults(), opts: opts, now: now,
+		metrics: opts.Metrics,
+		workers: make(map[string]*workerState),
+		done:    make(chan struct{}),
+	}
 }
+
+// Metrics returns the coordinator's telemetry registry.
+func (c *Coordinator) Metrics() *telemetry.Registry { return c.metrics }
 
 // Run drives the campaign to completion and records its outcome; it
 // returns what Wait returns. Safe to call exactly once.
@@ -112,6 +145,8 @@ func (c *Coordinator) Run() ([]harness.ModelReport, error) {
 		Config:         c.cfg,
 		Exec:           c,
 		CheckpointPath: c.opts.CheckpointPath,
+		CapacityPath:   c.opts.CapacityPath,
+		Metrics:        c.metrics,
 		CreatedBy:      c.opts.CreatedBy,
 		Commit:         c.opts.Commit,
 		Progress:       c.opts.Progress,
@@ -177,6 +212,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathReport, c.handleReport)
 	mux.HandleFunc(PathStatus, c.handleStatus)
+	mux.HandleFunc(PathMetrics, c.handleMetrics)
 	return mux
 }
 
@@ -208,6 +244,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	lease, kind, ok := table.claim(req.Worker, c.leaseSeq.Add(1))
 	if !ok {
+		c.touchWorker(req.Worker, 0, 0)
 		writeJSON(w, LeaseResponse{Status: StatusWait, RetryMS: c.opts.RetryMS})
 		return
 	}
@@ -220,7 +257,32 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		Lo: lease.Lo, Hi: lease.Hi, Worker: req.Worker, LeaseID: lease.ID,
 	})
 	c.mu.Unlock()
+	c.metrics.Counter(MetricLeases).Inc()
+	if kind == "re-lease" {
+		c.metrics.Counter(MetricReLeases).Inc()
+	}
+	c.metrics.Counter(WorkerMetric(req.Worker, "leases")).Inc()
+	c.touchWorker(req.Worker, 1, 0)
 	writeJSON(w, LeaseResponse{Status: StatusLease, Lease: lease})
+}
+
+// touchWorker records one worker contact: lastSeen moves to now (lease
+// clock), and the grant/schedule deltas accumulate into the liveness
+// ledger the status endpoint reports.
+func (c *Coordinator) touchWorker(id string, leases, schedules int64) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[id]
+	if !ok {
+		ws = &workerState{}
+		c.workers[id] = ws
+	}
+	ws.leases += leases
+	ws.schedules += schedules
+	ws.lastSeen = c.now()
+	c.mu.Unlock()
 }
 
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -263,6 +325,14 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		Lo: req.Lo, Hi: req.Hi, Worker: req.Worker, LeaseID: req.LeaseID,
 	})
 	c.mu.Unlock()
+	if accepted {
+		c.metrics.Counter(MetricReports).Inc()
+		c.metrics.Counter(WorkerMetric(req.Worker, "schedules")).Add(int64(req.Hi - req.Lo))
+		c.touchWorker(req.Worker, 0, int64(req.Hi-req.Lo))
+	} else {
+		c.metrics.Counter(MetricStaleReports).Inc()
+		c.touchWorker(req.Worker, 0, 0)
+	}
 	reason := ""
 	if !accepted {
 		reason = "range already completed"
@@ -272,12 +342,14 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) noteStale(req *ReportRequest) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.staleReports++
 	c.events = append(c.events, LeaseEvent{
 		Kind: "stale-report", Model: req.Model, Depth: req.Depth,
 		Lo: req.Lo, Hi: req.Hi, Worker: req.Worker, LeaseID: req.LeaseID,
 	})
+	c.mu.Unlock()
+	c.metrics.Counter(MetricStaleReports).Inc()
+	c.touchWorker(req.Worker, 0, 0)
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +366,15 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 			resp.Leases++
 		}
 	}
+	now := c.now()
+	for id, ws := range c.workers {
+		resp.Workers = append(resp.Workers, WorkerStatus{
+			Worker:     id,
+			Leases:     ws.leases,
+			Schedules:  ws.schedules,
+			LastSeenMS: now.Sub(ws.lastSeen).Milliseconds(),
+		})
+	}
 	if c.finished {
 		resp.State = "done"
 		if c.err != nil {
@@ -303,6 +384,9 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	table := c.table
 	c.mu.Unlock()
+	sort.Slice(resp.Workers, func(i, j int) bool { return resp.Workers[i].Worker < resp.Workers[j].Worker })
+	resp.Waves = c.metrics.Counter(MetricWaves).Value()
+	resp.Schedules = c.metrics.Counter(MetricSchedules).Value()
 	if table != nil {
 		resp.Model = table.model.String()
 		resp.Depth = table.depth
@@ -310,6 +394,14 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.RangesPending, resp.RangesLeased, resp.RangesDone = table.counts()
 	}
 	writeJSON(w, resp)
+}
+
+// handleMetrics serves the registry as one JSON snapshot. The snapshot
+// reads the telemetry clock, so a fake-clock determinism run must not
+// poll this endpoint mid-campaign (the capacity artifact is the
+// deterministic view; this endpoint is the live one).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.metrics.Snapshot())
 }
 
 // errorString is a trivial error wrapper for failures that crossed the

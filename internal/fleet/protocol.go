@@ -52,7 +52,57 @@ const (
 	PathReport = "/v1/report"
 	// PathStatus (GET) returns a StatusResponse progress snapshot.
 	PathStatus = "/v1/status"
+	// PathMetrics (GET) returns the coordinator's live
+	// telemetry.Snapshot (every counter, gauge, and histogram, sorted
+	// by name).
+	PathMetrics = "/v1/metrics"
 )
+
+// Metric names, following internal/telemetry's flat-name convention.
+// "fleet.*" metrics live in the coordinator's registry and feed the
+// capacity artifact; "worker.*" metrics live in each worker's own
+// registry (worker-process-local — they never cross the wire, so they
+// can never perturb the coordinator's deterministic clock).
+const (
+	// MetricLeases counts lease grants (including re-leases).
+	MetricLeases = "fleet.leases"
+	// MetricReLeases counts grants of ranges whose previous lease
+	// expired.
+	MetricReLeases = "fleet.re_leases"
+	// MetricReports counts accepted range reports.
+	MetricReports = "fleet.reports"
+	// MetricStaleReports counts rejected (duplicate or late) reports.
+	MetricStaleReports = "fleet.stale_reports"
+	// MetricWaves counts completed waves across all models.
+	MetricWaves = "fleet.waves"
+	// MetricSchedules counts schedules executed across all models.
+	MetricSchedules = "fleet.schedules"
+	// MetricWaveUS is the histogram of wave execution times (µs, per
+	// the campaign's telemetry clock).
+	MetricWaveUS = "fleet.wave_us"
+
+	// MetricWorkerPollUS is the worker-side histogram of lease-call
+	// round-trip latencies (µs).
+	MetricWorkerPollUS = "worker.poll_us"
+	// MetricWorkerRangeUS is the worker-side histogram of leased-range
+	// execution times (µs).
+	MetricWorkerRangeUS = "worker.range_us"
+	// MetricWorkerBackoffs counts worker backoff sleeps (idle waits and
+	// HTTP retries).
+	MetricWorkerBackoffs = "worker.backoffs"
+	// MetricWorkerLeases counts leases this worker executed.
+	MetricWorkerLeases = "worker.leases"
+	// MetricWorkerSchedules counts schedules this worker executed.
+	MetricWorkerSchedules = "worker.schedules"
+)
+
+// WorkerMetric names a per-worker metric in the coordinator's registry
+// (e.g. "fleet.worker.w3.schedules"). Per-worker rows are live
+// telemetry only — which worker ran which lease is scheduling noise,
+// so these names are deliberately excluded from the capacity artifact.
+func WorkerMetric(worker, metric string) string {
+	return "fleet.worker." + worker + "." + metric
+}
 
 // Config is the campaign configuration: everything a worker needs to
 // reconstruct the exact model-check workload. It crosses the wire
@@ -216,8 +266,29 @@ type StatusResponse struct {
 	Leases       int `json:"leases"`
 	ReLeases     int `json:"re_leases"`
 	StaleReports int `json:"stale_reports"`
+	// Waves and Schedules are the campaign's cumulative telemetry
+	// counters (completed waves, executed schedules, all models).
+	Waves     int64 `json:"waves"`
+	Schedules int64 `json:"schedules"`
+	// Workers is one row per worker the coordinator has heard from,
+	// sorted by name.
+	Workers []WorkerStatus `json:"workers,omitempty"`
 	// Failure is the campaign error once State == "failed".
 	Failure string `json:"failure,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the coordinator's status
+// snapshot — the liveness view the `fleet status -watch` dashboard
+// renders.
+type WorkerStatus struct {
+	Worker string `json:"worker"`
+	// Leases and Schedules count the grants issued to and schedules
+	// reported by this worker.
+	Leases    int64 `json:"leases"`
+	Schedules int64 `json:"schedules"`
+	// LastSeenMS is milliseconds since this worker's last request, per
+	// the coordinator's lease clock.
+	LastSeenMS int64 `json:"last_seen_ms"`
 }
 
 // LeaseEvent is one entry of the coordinator's lease log: the audit

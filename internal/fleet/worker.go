@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"fetchphi/internal/harness"
 	"fetchphi/internal/memsim"
+	"fetchphi/internal/telemetry"
 )
 
 // Worker is the fleet's data plane: a stateless loop that claims
@@ -44,10 +47,36 @@ type Worker struct {
 	// dropped response is retried, and a duplicate report is ignored
 	// idempotently on the coordinator side.
 	Retries int
+	// MaxBackoff caps the jittered exponential backoff between idle
+	// polls and between HTTP retries (default 2s). The base delay is
+	// the coordinator's RetryMS hint (idle polls) or Poll (retries);
+	// consecutive waits double it up to this cap.
+	MaxBackoff time.Duration
+	// Metrics receives the worker's local telemetry: poll latency,
+	// range execution time, lease/schedule counts, backoff events.
+	// Worker metrics never cross the wire — they are process-local, so
+	// they cannot perturb the coordinator's deterministic telemetry
+	// clock. Nil selects a fresh wall-clock registry.
+	Metrics *telemetry.Registry
+	// Sleep substitutes the backoff sleeper (default: a timer honoring
+	// ctx). Tests inject instant recorders to pin the backoff sequence
+	// without waiting it out.
+	Sleep func(ctx context.Context, d time.Duration) error
 
 	explorers map[memsim.Model]*memsim.Explorer
 	build     harness.Builder
 	cfg       Config
+	rng       *rand.Rand
+}
+
+// jitterSeed derives the worker's deterministic jitter seed from its
+// ID: jitter de-synchronizes workers (its whole point), while a fixed
+// per-ID seed keeps any single worker's backoff sequence reproducible
+// under test.
+func jitterSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
 }
 
 // Run executes leases until the coordinator reports the campaign done,
@@ -63,6 +92,16 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Retries <= 0 {
 		w.Retries = 5
 	}
+	if w.MaxBackoff <= 0 {
+		w.MaxBackoff = 2 * time.Second
+	}
+	if w.Metrics == nil {
+		w.Metrics = telemetry.New(nil)
+	}
+	if w.Sleep == nil {
+		w.Sleep = sleepCtx
+	}
+	w.rng = rand.New(rand.NewSource(jitterSeed(w.ID)))
 	if err := w.fetchConfig(ctx); err != nil {
 		return err
 	}
@@ -73,23 +112,30 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.build = b
 	w.explorers = make(map[memsim.Model]*memsim.Explorer)
 
+	waits := 0
 	for {
 		var resp LeaseResponse
-		if err := w.call(ctx, PathLease, LeaseRequest{Worker: w.ID}, &resp); err != nil {
+		stopPoll := w.Metrics.Time(MetricWorkerPollUS)
+		err := w.call(ctx, PathLease, LeaseRequest{Worker: w.ID}, &resp)
+		stopPoll()
+		if err != nil {
 			return err
 		}
 		switch resp.Status {
 		case StatusDone:
 			return nil
 		case StatusWait:
-			delay := w.Poll
+			base := w.Poll
 			if resp.RetryMS > 0 {
-				delay = time.Duration(resp.RetryMS) * time.Millisecond
+				base = time.Duration(resp.RetryMS) * time.Millisecond
 			}
-			if err := sleepCtx(ctx, delay); err != nil {
+			if err := w.backoff(ctx, base, waits); err != nil {
 				return err
 			}
+			waits++
 		case StatusLease:
+			waits = 0
+			w.Metrics.Counter(MetricWorkerLeases).Inc()
 			if err := w.execute(ctx, resp.Lease); err != nil {
 				return err
 			}
@@ -97,6 +143,25 @@ func (w *Worker) Run(ctx context.Context) error {
 			return fmt.Errorf("fleet: coordinator returned unknown lease status %q", resp.Status)
 		}
 	}
+}
+
+// backoff sleeps for the streak-th consecutive jittered delay: base
+// doubled streak times, capped at MaxBackoff, then jittered uniformly
+// over its upper half so idle workers de-synchronize instead of
+// hammering the coordinator in lockstep.
+func (w *Worker) backoff(ctx context.Context, base time.Duration, streak int) error {
+	d := base
+	for i := 0; i < streak && d < w.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > w.MaxBackoff {
+		d = w.MaxBackoff
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(w.rng.Int63n(half+1))
+	}
+	w.Metrics.Counter(MetricWorkerBackoffs).Inc()
+	return w.Sleep(ctx, d)
 }
 
 // execute runs one lease and reports its outcomes.
@@ -113,7 +178,10 @@ func (w *Worker) execute(ctx context.Context, lease *Lease) error {
 		e = harness.CheckExplorer(w.build, model, w.cfg.N, w.cfg.Entries, w.cfg.exploreOptions(w.Shards))
 		w.explorers[model] = e
 	}
+	stop := w.Metrics.Time(MetricWorkerRangeUS)
 	outs := e.RunScheduleRange(schedulesFromWire(lease.Schedules))
+	stop()
+	w.Metrics.Counter(MetricWorkerSchedules).Add(int64(len(outs)))
 	report := ReportRequest{
 		Worker:   w.ID,
 		LeaseID:  lease.ID,
@@ -140,7 +208,7 @@ func (w *Worker) fetchConfig(ctx context.Context) error {
 	var lastErr error
 	for attempt := 0; attempt < w.Retries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, w.Poll); err != nil {
+			if err := w.backoff(ctx, w.Poll, attempt-1); err != nil {
 				return err
 			}
 		}
@@ -164,9 +232,10 @@ func (w *Worker) fetchConfig(ctx context.Context) error {
 }
 
 // call POSTs a JSON body and decodes the JSON response, retrying
-// transport failures (including dropped responses) up to w.Retries
-// times. Every retried POST is safe: leases are granted fresh per
-// call, and duplicate reports are idempotent on the coordinator.
+// transport failures (including dropped responses) with jittered
+// backoff, up to w.Retries times. Every retried POST is safe: leases
+// are granted fresh per call, and duplicate reports are idempotent on
+// the coordinator.
 func (w *Worker) call(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -175,7 +244,7 @@ func (w *Worker) call(ctx context.Context, path string, body, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < w.Retries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, w.Poll); err != nil {
+			if err := w.backoff(ctx, w.Poll, attempt-1); err != nil {
 				return err
 			}
 		}

@@ -98,6 +98,16 @@ const HotspotTopK = 5
 // (non-nil error) on a mutual exclusion violation, deadlock, livelock
 // (step bound), or if any process finished fewer entries than asked.
 func Run(b Builder, w Workload) (Metrics, error) {
+	return runTimed(b, w, nil)
+}
+
+// runTimed is Run with a hook at the simulation/accounting boundary:
+// afterSim (when non-nil) fires the moment machine execution finishes,
+// before RMR attribution, histogram fills, and validation. SweepWith
+// uses it to time the accounting overhead separately from simulation.
+// The hook is observation-only — it sees the boundary but receives
+// nothing and returns nothing, so it cannot perturb metrics.
+func runTimed(b Builder, w Workload, afterSim func()) (Metrics, error) {
 	if w.N <= 0 || w.Entries <= 0 {
 		return Metrics{}, fmt.Errorf("harness: invalid workload N=%d Entries=%d", w.N, w.Entries)
 	}
@@ -158,6 +168,9 @@ func Run(b Builder, w Workload) (Metrics, error) {
 	}
 
 	res := m.Run(memsim.RunConfig{Sched: sched, MaxSteps: w.MaxSteps})
+	if afterSim != nil {
+		afterSim()
+	}
 	met := Metrics{
 		Result:        res,
 		MeanRMR:       res.MeanRMRPerEntry(),

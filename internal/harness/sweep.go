@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"fetchphi/internal/obs"
+	"fetchphi/internal/telemetry"
 )
 
 // Cell is one point of an experiment sweep: an algorithm builder plus
@@ -77,6 +78,38 @@ type ProgressEvent struct {
 // machines), which TestSweepProgressObservationOnly pins down.
 type Progress func(ProgressEvent)
 
+// Sweep telemetry metric names (internal/telemetry flat-name
+// convention). cells/sec is Snapshot.PerSec(MetricSweepCells);
+// MetricSweepAccountUS isolates the post-simulation RMR-accounting
+// overhead (attribution, histogram fills, validation) from the cell
+// total, so "how much of a sweep is bookkeeping" is a direct quantile
+// read.
+const (
+	// MetricSweepCells counts completed cells.
+	MetricSweepCells = "sweep.cells"
+	// MetricSweepFailures counts cells that finished with an error.
+	MetricSweepFailures = "sweep.failures"
+	// MetricSweepCellUS is the histogram of whole-cell execution times
+	// (µs: simulation + accounting).
+	MetricSweepCellUS = "sweep.cell_us"
+	// MetricSweepAccountUS is the histogram of per-cell RMR-accounting
+	// times (µs: everything after machine execution finishes).
+	MetricSweepAccountUS = "sweep.account_us"
+)
+
+// SweepOptions configure SweepWith; the zero value matches Sweep.
+type SweepOptions struct {
+	// Workers is the parallel cell width (0 or negative: GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, receives per-cell start/completion events.
+	Progress Progress
+	// Metrics, if non-nil, receives sweep telemetry (the Metric*
+	// constants above). Observation-only, like Progress: workers
+	// observe into it concurrently, and nothing measured by any cell
+	// depends on it.
+	Metrics *telemetry.Registry
+}
+
 // Sweep runs every cell and returns results in input order. Cells are
 // sharded across `workers` goroutines (0 or negative means
 // GOMAXPROCS); each cell builds its own machine and scheduler from the
@@ -85,13 +118,20 @@ type Progress func(ProgressEvent)
 // reported per cell, not short-circuited: callers decide whether one
 // failed cell poisons the sweep.
 func Sweep(cells []Cell, workers int) []CellResult {
-	return SweepProgress(cells, workers, nil)
+	return SweepWith(cells, SweepOptions{Workers: workers})
 }
 
 // SweepProgress is Sweep with per-cell progress reporting: progress
 // (when non-nil) receives a start and a completion event for every
 // cell, with a shared atomic completion counter.
 func SweepProgress(cells []Cell, workers int, progress Progress) []CellResult {
+	return SweepWith(cells, SweepOptions{Workers: workers, Progress: progress})
+}
+
+// SweepWith is the fully-optioned sweep: progress reporting plus
+// telemetry.
+func SweepWith(cells []Cell, opts SweepOptions) []CellResult {
+	workers, progress := opts.Workers, opts.Progress
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -108,7 +148,25 @@ func SweepProgress(cells []Cell, workers int, progress Progress) []CellResult {
 		if progress != nil {
 			progress(ProgressEvent{Cell: c, Done: int(done.Load()), Total: len(cells), Start: true})
 		}
-		met, err := Run(c.Build, c.Workload)
+		var met Metrics
+		var err error
+		if opts.Metrics == nil {
+			met, err = Run(c.Build, c.Workload)
+		} else {
+			stopCell := opts.Metrics.Time(MetricSweepCellUS)
+			var stopAccount func()
+			met, err = runTimed(c.Build, c.Workload, func() {
+				stopAccount = opts.Metrics.Time(MetricSweepAccountUS)
+			})
+			if stopAccount != nil {
+				stopAccount()
+			}
+			stopCell()
+			opts.Metrics.Counter(MetricSweepCells).Inc()
+			if err != nil {
+				opts.Metrics.Counter(MetricSweepFailures).Inc()
+			}
+		}
 		results[i] = CellResult{Cell: c, Metrics: met, Err: err}
 		if progress != nil {
 			progress(ProgressEvent{Cell: c, Done: int(done.Add(1)), Total: len(cells)})

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fetchphi/internal/memsim"
+	"fetchphi/internal/telemetry"
 )
 
 // sweepCells builds a small (model, N, seed) grid over the test lock —
@@ -261,5 +262,66 @@ func TestSweepSinksObservationOnly(t *testing.T) {
 			t.Fatalf("cell %d metrics changed when a sink was attached:\nplain    %+v\nobserved %+v",
 				i, plain[i].Metrics, observed[i].Metrics)
 		}
+	}
+}
+
+// TestSweepTelemetryObservationOnly extends the observation-only
+// discipline to the metrics registry: attaching one changes no
+// measured metric, and the registry ends up with a complete account of
+// the sweep — one cell sample and one accounting sample per cell.
+func TestSweepTelemetryObservationOnly(t *testing.T) {
+	plain := Sweep(sweepCells(), 4)
+	metrics := telemetry.New(nil)
+	observed := SweepWith(sweepCells(), SweepOptions{Workers: 4, Metrics: metrics})
+	for i := range plain {
+		if !reflect.DeepEqual(plain[i].Metrics, observed[i].Metrics) {
+			t.Fatalf("cell %d metrics changed when telemetry was attached:\nplain    %+v\nobserved %+v",
+				i, plain[i].Metrics, observed[i].Metrics)
+		}
+	}
+	snap := metrics.Snapshot()
+	n := int64(len(sweepCells()))
+	if got := snap.Counter(MetricSweepCells); got != n {
+		t.Errorf("sweep.cells: %d, want %d", got, n)
+	}
+	if got := snap.Counter(MetricSweepFailures); got != 0 {
+		t.Errorf("sweep.failures: %d, want 0", got)
+	}
+	if h := snap.Histogram(MetricSweepCellUS); h.Count != n {
+		t.Errorf("sweep.cell_us samples: %d, want %d", h.Count, n)
+	}
+	if h := snap.Histogram(MetricSweepAccountUS); h.Count != n {
+		t.Errorf("sweep.account_us samples: %d, want %d", h.Count, n)
+	}
+	if snap.PerSec(MetricSweepCells) <= 0 {
+		t.Error("cells/sec rate should be positive on the wall clock")
+	}
+}
+
+// TestSweepTelemetryCountsFailures: a cell that errors still counts as
+// a completed cell and increments the failure counter; cells that never
+// reach the simulation/accounting boundary contribute no accounting
+// sample.
+func TestSweepTelemetryCountsFailures(t *testing.T) {
+	cells := []Cell{
+		{Algorithm: "bad", Build: newFakeLock,
+			Workload: Workload{Model: memsim.CC, N: 0, Entries: 1}}, // invalid N
+		{Algorithm: "good", Build: newFakeLock,
+			Workload: Workload{Model: memsim.CC, N: 2, Entries: 2, Seed: 1}},
+	}
+	metrics := telemetry.New(nil)
+	rs := SweepWith(cells, SweepOptions{Workers: 2, Metrics: metrics})
+	if rs[0].Err == nil || rs[1].Err != nil {
+		t.Fatalf("unexpected errors: %v, %v", rs[0].Err, rs[1].Err)
+	}
+	snap := metrics.Snapshot()
+	if got := snap.Counter(MetricSweepCells); got != 2 {
+		t.Errorf("sweep.cells: %d, want 2", got)
+	}
+	if got := snap.Counter(MetricSweepFailures); got != 1 {
+		t.Errorf("sweep.failures: %d, want 1", got)
+	}
+	if h := snap.Histogram(MetricSweepAccountUS); h.Count != 1 {
+		t.Errorf("sweep.account_us samples: %d, want 1 (invalid workload never simulates)", h.Count)
 	}
 }

@@ -30,6 +30,7 @@ var DeterministicPackages = []string{
 	"internal/fit",
 	"internal/claims",
 	"internal/fleet",
+	"internal/telemetry",
 	"cmd/explore",
 	"cmd/fleet",
 }

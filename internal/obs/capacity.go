@@ -1,0 +1,178 @@
+package obs
+
+// The capacity artifact (fetchphi.capacity/v1) is one campaign's
+// throughput record: how fast the fleet (or the local campaign engine)
+// chewed through a model-check schedule space, and how much lease
+// churn it took. It is written next to the fetchphi.explore/v1
+// checkpoint by the campaign engine, rewritten after every wave, and
+// finalized with Complete=true.
+//
+// Determinism contract: every duration in the artifact is measured
+// through the campaign's injectable telemetry clock, and only
+// campaign-level aggregates are recorded — never per-worker rows.
+// Which worker ran which lease is scheduling noise (it legitimately
+// differs between runs and worker counts), so per-worker rates stay
+// live telemetry on /v1/metrics while the artifact remains a pure
+// function of (campaign, clock): byte-identical across {1,2,4} workers
+// under a fake clock, which the fleet test suite pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CapacitySchema identifies the campaign-capacity artifact format.
+const CapacitySchema = "fetchphi.capacity/v1"
+
+// CapacityArtifactName returns the canonical file name for an
+// algorithm's capacity artifact (CAPACITY_g-dsm.json, ...), flattening
+// '/' like ExploreArtifactName.
+func CapacityArtifactName(algorithm string) string {
+	return fmt.Sprintf("CAPACITY_%s.json", strings.ReplaceAll(algorithm, "/", "-"))
+}
+
+// CapacityArtifact is one campaign's capacity record.
+type CapacityArtifact struct {
+	// Schema is always the CapacitySchema constant.
+	Schema string `json:"schema"`
+	// Algorithm is the registry name of the algorithm checked.
+	Algorithm string `json:"algorithm"`
+	// CreatedBy names the tool that wrote the artifact.
+	CreatedBy string `json:"created_by,omitempty"`
+	// Commit is the repository commit, when known.
+	Commit string `json:"commit,omitempty"`
+	// N, Entries, Preemptions, MaxRuns are the campaign configuration.
+	N           int `json:"n"`
+	Entries     int `json:"entries"`
+	Preemptions int `json:"preemptions"`
+	MaxRuns     int `json:"max_runs"`
+	// Complete is true once the campaign finished; a live campaign's
+	// artifact (rewritten per wave) carries false.
+	Complete bool `json:"complete"`
+	// ElapsedMS is the campaign's elapsed time per the telemetry clock.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Waves and Schedules count completed waves and executed schedules
+	// across all models.
+	Waves     int64 `json:"waves"`
+	Schedules int64 `json:"schedules"`
+	// SchedulesPerSec is the campaign throughput headline:
+	// Schedules over ElapsedMS. Deterministic under a fake clock,
+	// wall-clock-honest in production.
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	// Leases, ReLeases, StaleReports are the cumulative lease-log
+	// counters (zero for the in-process LocalExecutor, which leases
+	// nothing).
+	Leases       int64 `json:"leases"`
+	ReLeases     int64 `json:"re_leases"`
+	StaleReports int64 `json:"stale_reports"`
+	// ReLeaseRate is ReLeases/Leases (0 when no leases) — the fleet's
+	// churn headline: how much work had to be re-offered because a
+	// worker went quiet past its deadline.
+	ReLeaseRate float64 `json:"re_lease_rate"`
+	// WaveUS is the distribution of wave execution times in
+	// microseconds, per the telemetry clock.
+	WaveUS Histogram `json:"wave_us"`
+	// Models holds one row per memory model.
+	Models []CapacityModel `json:"models"`
+}
+
+// CapacityModel is one memory model's capacity row.
+type CapacityModel struct {
+	// Model is the memory model name (CC, DSM, ...).
+	Model string `json:"model"`
+	// Done is true once this model's exploration finished.
+	Done bool `json:"done"`
+	// Waves and Schedules count this model's completed waves and
+	// executed schedules.
+	Waves     int `json:"waves"`
+	Schedules int `json:"schedules"`
+}
+
+// Normalize sorts the per-model rows so equal campaigns produce
+// byte-equal artifacts regardless of construction order.
+func (a *CapacityArtifact) Normalize() {
+	sort.Slice(a.Models, func(i, j int) bool { return a.Models[i].Model < a.Models[j].Model })
+}
+
+// WriteFile writes the artifact as indented JSON through a temp file +
+// rename (the artifact discipline: a crashed run never leaves a
+// truncated artifact), creating parent directories as needed.
+func (a *CapacityArtifact) WriteFile(path string) error {
+	if a.Schema == "" {
+		a.Schema = CapacitySchema
+	}
+	a.Normalize()
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal capacity artifact %s: %w", a.Algorithm, err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// ReadCapacityArtifact loads and validates one capacity artifact file.
+func ReadCapacityArtifact(path string) (*CapacityArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var a CapacityArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	if a.Schema != CapacitySchema {
+		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, a.Schema, CapacitySchema)
+	}
+	return &a, nil
+}
+
+// CompareCapacity gates current against baseline, returning one line
+// per regression (empty means the gate passes). maxDegrade is the
+// tolerated fractional throughput drop (e.g. 0.5 tolerates a halving —
+// capacity is wall-clock data, so gates must be loose). Regressions:
+//
+//   - throughput: SchedulesPerSec dropping by more than maxDegrade
+//     relative to the baseline (both must be nonzero to compare);
+//   - churn: the re-lease rate growing by more than 5 points over the
+//     baseline — workers losing leases they used to keep;
+//   - stale reports appearing where the baseline had none, when lease
+//     volume did not grow (a protocol-efficiency canary).
+//
+// Improvements pass silently: they only warrant a baseline refresh.
+func CompareCapacity(baseline, current *CapacityArtifact, maxDegrade float64) []string {
+	var regressions []string
+	if baseline.SchedulesPerSec > 0 && current.SchedulesPerSec > 0 {
+		if current.SchedulesPerSec < baseline.SchedulesPerSec*(1-maxDegrade) {
+			regressions = append(regressions, fmt.Sprintf(
+				"throughput regression: %s runs %.1f schedules/sec, baseline %.1f (tolerance %.0f%%)",
+				current.Algorithm, current.SchedulesPerSec, baseline.SchedulesPerSec, maxDegrade*100))
+		}
+	}
+	if current.ReLeaseRate > baseline.ReLeaseRate+0.05 {
+		regressions = append(regressions, fmt.Sprintf(
+			"re-lease churn regression: %s re-leases %.1f%% of grants, baseline %.1f%%",
+			current.Algorithm, current.ReLeaseRate*100, baseline.ReLeaseRate*100))
+	}
+	if baseline.StaleReports == 0 && current.StaleReports > 0 && current.Leases <= baseline.Leases {
+		regressions = append(regressions, fmt.Sprintf(
+			"stale-report regression: %s produced %d stale reports, baseline none",
+			current.Algorithm, current.StaleReports))
+	}
+	return regressions
+}
