@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint gate clean
+.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint baseline-stress gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite, gated against the checked-in lint baseline), build,
 # tests, the race detector over the genuinely concurrent packages, the
 # trace-pipeline smoke test, the sharded model-checker smoke, the
-# distributed-fleet + telemetry smokes, and the claims-conformance
-# gate + smoke.
-ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke claims claims-smoke
+# distributed-fleet + telemetry smokes, the native-stress smoke, and
+# the claims-conformance gate + smoke.
+ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint — the per-package analyzers
 # (awaitwatch, memsimpurity, determinism, phasebalance), the
@@ -35,12 +35,13 @@ test:
 	$(GO) test ./...
 
 # race covers the packages that use real goroutines: the native spin
-# locks, the sharded explorer in memsim, the parallel sweep engine and
-# sharded checker in harness, the obs artifact layer they record into,
-# the coordinator/worker fleet, and the telemetry registry every fleet
-# component observes into concurrently.
+# locks (including the starvation smokes), the stress harness that
+# drives them, the sharded explorer in memsim, the parallel sweep
+# engine and sharded checker in harness, the obs artifact layer they
+# record into, the coordinator/worker fleet, and the telemetry
+# registry every fleet component observes into concurrently.
 race:
-	$(GO) test -race ./internal/nativelock/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/... ./internal/telemetry/...
+	$(GO) test -race ./internal/nativelock/... ./internal/stress/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/... ./internal/telemetry/...
 
 # trace-smoke exercises the whole trace pipeline on a real workload:
 # record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
@@ -75,6 +76,18 @@ fleet-smoke:
 # answer 200 with counters that agree with the artifact.
 telemetry-smoke:
 	$(GO) run ./cmd/fleet smoke -alg g-dsm -n 2 -entries 2 -preemptions 2 -workers 2 -capacity bench/current/explore/CAPACITY_g-dsm.json
+
+# stress-smoke gates CI on the native-load observability path: a small
+# closed-loop sweep over four locks must leave behind a schema-valid
+# fetchphi.stress/v1 artifact with non-empty latency and fairness
+# numbers, and the artifact must clear the regression gate replayed
+# against itself (-in skips re-running; the gate logic still executes).
+# Numbers are wall-clock, so CI does not gate them against the
+# checked-in baseline — that comparison is for like-host runs via
+# `lockstress -baseline bench/baseline/STRESS.json`.
+stress-smoke:
+	$(GO) run ./cmd/lockstress -lock mutex,ticket,clh,mcs -workers 4 -iters 5000 -window 2000 -out bench/current/STRESS_smoke.json
+	$(GO) run ./cmd/lockstress -in bench/current/STRESS_smoke.json -baseline bench/current/STRESS_smoke.json
 
 # claims evaluates the paper-claims registry over the checked-in
 # bench/baseline artifacts (so it works on a fresh clone, with no
@@ -118,6 +131,13 @@ baseline-claims:
 # or verdict change.
 baseline-lint:
 	$(GO) run ./cmd/fetchphilint -json bench/baseline/LINT.json ./...
+
+# baseline-stress regenerates the checked-in native-stress baseline.
+# The numbers are wall-clock and host-specific: regenerate (and
+# commit) on the reference machine after a deliberate lock change, and
+# compare against it only on like hosts.
+baseline-stress:
+	$(GO) run ./cmd/lockstress -workers 4 -iters 20000 -slim -out bench/baseline/STRESS.json
 
 # gate re-runs the experiments and fails on any RMR regression against
 # the checked-in artifacts in bench/baseline — works out of the box on

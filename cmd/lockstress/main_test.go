@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetchphi/internal/obs"
+	"fetchphi/internal/stress"
+)
+
+// TestRunList prints the zoo, one lock per line.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	got := strings.Fields(stdout.String())
+	want := stress.Names()
+	if len(got) != len(want) {
+		t.Fatalf("-list printed %d locks, want %d:\n%s", len(got), len(want), stdout.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("-list[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunUsageErrors: every malformed invocation exits 2 without
+// running anything.
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-bogus"},
+		{"-iters", "0"},
+		{"-cswork", "-1"},
+		{"-rate", "-5"},
+		{"-degrade", "-0.1"},
+		{"-lock", "nosuchlock", "-iters", "1"},
+		{"-lock", ","},
+		{"-workers", "0", "-iters", "1"},
+		{"-workers", "two", "-iters", "1"},
+		{"-workers", ",", "-iters", "1"},
+		{"-in", "/nonexistent/STRESS.json"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2\nstderr: %s", tc, code, stderr.String())
+		}
+	}
+}
+
+// TestRunSweepWritesArtifact is the end-to-end smoke: three locks, a
+// two-point worker sweep, artifact out. Every row must carry non-empty
+// latency distributions and fairness metrics.
+func TestRunSweepWritesArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "STRESS.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-lock", "mutex,ticket,clh", "-workers", "1,2",
+		"-iters", "300", "-window", "100", "-out", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	art, err := obs.ReadStressArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Locks) != 6 {
+		t.Fatalf("artifact has %d rows, want 6", len(art.Locks))
+	}
+	if art.CreatedBy != "cmd/lockstress" || art.Iters != 300 {
+		t.Fatalf("artifact header: %+v", art)
+	}
+	for _, l := range art.Locks {
+		wantOps := int64(l.Workers) * 300
+		if l.Ops != wantOps {
+			t.Errorf("%s@%d: ops %d, want %d", l.Lock, l.Workers, l.Ops, wantOps)
+		}
+		if l.AcquireNS.Count != wantOps || l.HoldNS.Count != wantOps {
+			t.Errorf("%s@%d: latency counts %d/%d, want %d",
+				l.Lock, l.Workers, l.AcquireNS.Count, l.HoldNS.Count, wantOps)
+		}
+		if l.HandoffNS.Count != wantOps-1 {
+			t.Errorf("%s@%d: handoff count %d, want %d", l.Lock, l.Workers, l.HandoffNS.Count, wantOps-1)
+		}
+		if l.AcquireP99NS <= 0 || l.AcquireP999NS < l.AcquireP99NS || l.AcquireP99NS < l.AcquireP50NS {
+			t.Errorf("%s@%d: quantiles p50=%d p99=%d p999=%d",
+				l.Lock, l.Workers, l.AcquireP50NS, l.AcquireP99NS, l.AcquireP999NS)
+		}
+		if l.JainIndex <= 0 || l.JainIndex > 1.0000001 || l.MinWindowJain <= 0 {
+			t.Errorf("%s@%d: jain=%v drift=%v", l.Lock, l.Workers, l.JainIndex, l.MinWindowJain)
+		}
+		if l.OpsPerSec <= 0 || len(l.WindowRates) == 0 || len(l.PerWorkerOps) != l.Workers {
+			t.Errorf("%s@%d: throughput %v, %d windows, %d worker counts",
+				l.Lock, l.Workers, l.OpsPerSec, len(l.WindowRates), len(l.PerWorkerOps))
+		}
+	}
+	if !strings.Contains(stdout.String(), "wrote "+path) {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+// TestRunSweepSizesLocksPerPoint is the regression for the old
+// harness's sizing bug: capacity-bounded locks (anderson's slot array,
+// the Peterson tree, the paper's Generic lock) swept across worker
+// counts must each be built fresh at every sweep point.
+func TestRunSweepSizesLocksPerPoint(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-lock", "anderson,peterson-tree,generic-inc",
+		"-workers", "1,2,4", "-iters", "150"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d\nstderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"anderson", "peterson-tree", "generic-inc"} {
+		if c := strings.Count(stdout.String(), want+" "); c < 3 {
+			t.Errorf("table shows %d rows for %s, want 3:\n%s", c, want, stdout.String())
+		}
+	}
+}
+
+// TestRunJSON prints a parseable artifact to stdout.
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-lock", "mutex", "-workers", "1", "-iters", "100", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	var art obs.StressArtifact
+	if err := json.Unmarshal(stdout.Bytes(), &art); err != nil {
+		t.Fatalf("stdout is not an artifact: %v\n%s", err, stdout.String())
+	}
+	if art.Schema != obs.StressSchema || len(art.Locks) != 1 {
+		t.Fatalf("artifact: %+v", art)
+	}
+}
+
+// TestRunSlim: -slim keeps the headline quantiles the gate compares
+// but drops the raw reservoirs and timelines.
+func TestRunSlim(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-lock", "mutex", "-workers", "1", "-iters", "100", "-slim", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	var art obs.StressArtifact
+	if err := json.Unmarshal(stdout.Bytes(), &art); err != nil {
+		t.Fatal(err)
+	}
+	l := art.Locks[0]
+	if l.AcquireNS.Count != 0 || len(l.WindowRates) != 0 || len(l.PerWorkerOps) != 0 {
+		t.Fatalf("slim row still carries distributions: %+v", l)
+	}
+	if l.AcquireP99NS <= 0 || l.OpsPerSec <= 0 || l.JainIndex <= 0 {
+		t.Fatalf("slim row lost headline numbers: %+v", l)
+	}
+}
+
+// gateFixture writes baseline and current artifacts for gate tests and
+// returns their paths. mutate edits the current artifact first.
+func gateFixture(t *testing.T, mutate func(*obs.StressArtifact)) (basePath, curPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	mk := func() *obs.StressArtifact {
+		return &obs.StressArtifact{
+			Schema: obs.StressSchema,
+			Locks: []obs.StressLock{
+				{Lock: "ticket", Workers: 2, Ops: 1000, OpsPerSec: 500_000, AcquireP99NS: 8_000},
+				{Lock: "mcs", Workers: 2, Ops: 1000, OpsPerSec: 400_000, AcquireP99NS: 6_000},
+			},
+		}
+	}
+	base, cur := mk(), mk()
+	if mutate != nil {
+		mutate(cur)
+	}
+	basePath = filepath.Join(dir, "base.json")
+	curPath = filepath.Join(dir, "cur.json")
+	if err := base.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteFile(curPath); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, curPath
+}
+
+// TestRunBaselineGatePasses: -in replay of an identical artifact
+// clears the gate.
+func TestRunBaselineGatePasses(t *testing.T) {
+	basePath, curPath := gateFixture(t, nil)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", curPath, "-baseline", basePath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "baseline gate: ok (2 baseline rows within 50%)") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+}
+
+// TestRunBaselineGateThroughputRegression: an injected throughput
+// collapse exits 1 with the regression on stderr.
+func TestRunBaselineGateThroughputRegression(t *testing.T) {
+	basePath, curPath := gateFixture(t, func(a *obs.StressArtifact) {
+		a.Locks[0].OpsPerSec = 100_000 // ticket: 5× collapse
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", curPath, "-baseline", basePath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "throughput regression: ticket at 2 workers") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunBaselineGateP99Regression: an injected latency-tail blowup
+// exits 1.
+func TestRunBaselineGateP99Regression(t *testing.T) {
+	basePath, curPath := gateFixture(t, func(a *obs.StressArtifact) {
+		a.Locks[1].AcquireP99NS = 5_000_000 // mcs: 6µs → 5ms
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", curPath, "-baseline", basePath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "p99 latency regression: mcs at 2 workers") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunBaselineGateTightensWithDegrade: the same artifacts pass at
+// -degrade 0.5 and fail at -degrade 0.05.
+func TestRunBaselineGateTightensWithDegrade(t *testing.T) {
+	basePath, curPath := gateFixture(t, func(a *obs.StressArtifact) {
+		a.Locks[0].OpsPerSec = 400_000 // ticket: -20%
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-in", curPath, "-baseline", basePath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("loose gate exited %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-in", curPath, "-baseline", basePath, "-degrade", "0.05"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("tight gate exited %d, want 1", code)
+	}
+}
+
+// TestRunWatchSweep drives a real (tiny) sweep through the -watch
+// path: frames reach stdout and the run still exits clean.
+func TestRunWatchSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-lock", "mutex,ticket", "-workers", "2",
+		"-iters", "2000", "-watch", "-interval", "1ms"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	frames := stdout.String()
+	if !strings.Contains(frames, clearScreen) {
+		t.Fatal("no clear-screen prefix in watch output")
+	}
+	if !strings.Contains(frames, "lockstress: 2/2 runs done, 8000/8000 acquisitions") {
+		t.Fatalf("final frame missing:\n%s", frames)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fetchphi/internal/stress"
+)
+
+// cannedRows is a fixed dashboard frame covering every row state:
+// rendering is a pure function of these rows, so the frame format is
+// pinned without running a sweep.
+func cannedRows() []watchRow {
+	return []watchRow{
+		{Lock: "mutex", Workers: 4, State: stateDone, Ops: 8000, Total: 8000,
+			OpsPerSec: 2_000_000, P50NS: 250, P99NS: 4_100, Jain: 1, Drift: 0.972,
+			Rates: []float64{1e6, 2e6, 4e6, 2e6}},
+		{Lock: "ticket", Workers: 4, State: stateRun, Ops: 3000, Total: 8000,
+			OpsPerSec: 1_500_000, P50NS: 300, P99NS: 2_500_000, Jain: 0.941, Drift: 0.615,
+			Rates: []float64{1.5e6, 1.4e6}},
+		{Lock: "clh", Workers: 4, State: stateWait, Total: 8000},
+		{Lock: "broken", Workers: 4, State: stateFail, Ops: 120, Total: 8000},
+	}
+}
+
+// TestRenderStressFrame pins one frame: the progress headline, the
+// column header, a done row with its sparkline, a mid-run row, a
+// queued row, and a failed row.
+func TestRenderStressFrame(t *testing.T) {
+	var out bytes.Buffer
+	renderStressFrame(&out, cannedRows())
+	frame := out.String()
+
+	for _, want := range []string{
+		"lockstress: 1/4 runs done, 11120/32000 acquisitions",
+		"lock             w st            ops        ops/s       p50       p99   jain  drift  throughput",
+		"mutex            4 done         8000      2000000     250ns     4.1µs  1.000  0.972  ▃▅█▅",
+		"ticket           4 run          3000      1500000     300ns     2.5ms  0.941  0.615  ██",
+		"clh              4 wait",
+		"broken           4 FAIL          120            0       0ns       0ns  0.000  0.000  ",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+// TestSpark: scaling, rounding to the eight block levels, zero floor,
+// and truncation to the most recent `width` values.
+func TestSpark(t *testing.T) {
+	for _, tc := range []struct {
+		xs    []float64
+		width int
+		want  string
+	}{
+		{nil, 8, ""},
+		{[]float64{5}, 8, "█"},
+		{[]float64{0, 5}, 8, "▁█"},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8, "▂▃▄▅▅▆▇█"},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8}, 3, "▆▇█"}, // keeps the tail
+		{[]float64{0, 0, 0}, 8, "▁▁▁"},
+	} {
+		if got := spark(tc.xs, tc.width); got != tc.want {
+			t.Errorf("spark(%v, %d) = %q, want %q", tc.xs, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestNsString(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0ns"},
+		{950, "950ns"},
+		{1_500, "1.5µs"},
+		{2_500_000, "2.5ms"},
+		{3_210_000_000, "3.21s"},
+	} {
+		if got := nsString(tc.ns); got != tc.want {
+			t.Errorf("nsString(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+// TestBoardLifecycle walks one row through wait → run → done against a
+// real harness run under a fake step clock, checking the frame numbers
+// at each state.
+func TestBoardLifecycle(t *testing.T) {
+	b := newLiveBoard()
+	b.addRow("mutex", 1, 10)
+
+	rows := b.frame()
+	if len(rows) != 1 || rows[0].State != stateWait || rows[0].Ops != 0 {
+		t.Fatalf("wait frame: %+v", rows)
+	}
+
+	var ticks atomic.Int64
+	step := func() time.Time {
+		return time.Unix(0, 0).Add(time.Duration(ticks.Add(1)) * time.Microsecond)
+	}
+	c, _ := stress.Find("mutex")
+	res, err := stress.Run(c, stress.Config{Workers: 1, Iters: 10, WindowOps: 5,
+		Now: step, OnTracker: b.attach("mutex", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = b.frame()
+	if rows[0].State != stateRun || rows[0].Ops != 10 {
+		t.Fatalf("post-run frame before done: %+v", rows[0])
+	}
+
+	b.done("mutex", 1, res.Progress)
+	rows = b.frame()
+	if rows[0].State != stateDone || rows[0].Ops != 10 || rows[0].Jain != 1 {
+		t.Fatalf("done frame: %+v", rows[0])
+	}
+	if rows[0].P99NS <= 0 || len(rows[0].Rates) != 2 {
+		t.Fatalf("done frame metrics: %+v", rows[0])
+	}
+
+	b.fail("mutex", 1)
+	if rows = b.frame(); rows[0].State != stateFail {
+		t.Fatalf("fail frame: %+v", rows[0])
+	}
+}
+
+// TestBoardStartStop: the render loop emits clear-screen frames and
+// stop is idempotent and synchronous.
+func TestBoardStartStop(t *testing.T) {
+	b := newLiveBoard()
+	b.addRow("mutex", 2, 100)
+	var out bytes.Buffer // written only by the loop until stop returns
+	stop := b.start(&out, time.Millisecond)
+	stop()
+	stop() // second call is a no-op
+	frames := out.String()
+	if !strings.HasPrefix(frames, clearScreen) {
+		t.Fatalf("frames missing clear prefix: %q", frames)
+	}
+	if !strings.Contains(frames, "lockstress: 0/1 runs done, 0/100 acquisitions") {
+		t.Fatalf("headline missing:\n%s", frames)
+	}
+}

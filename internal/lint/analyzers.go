@@ -31,8 +31,10 @@ var DeterministicPackages = []string{
 	"internal/claims",
 	"internal/fleet",
 	"internal/telemetry",
+	"internal/stress",
 	"cmd/explore",
 	"cmd/fleet",
+	"cmd/lockstress",
 }
 
 // All returns the full analyzer suite in reporting order.

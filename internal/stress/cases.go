@@ -1,0 +1,115 @@
+package stress
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"fetchphi/internal/nativelock"
+)
+
+// CS runs one critical section for the worker identity id: acquire,
+// run body, release. The wrapper shape absorbs the zoo's different
+// token protocols (slot tokens, queue nodes, static identities) behind
+// one uniform runner.
+type CS func(id int, body func())
+
+// Case is one stressable lock. Make builds a fresh lock instance sized
+// for exactly `workers` concurrent acquirers and returns its
+// critical-section wrapper; it must be called once per run so sweeping
+// worker counts never reuses an array lock sized for a smaller sweep
+// point (the corruption the old cmd/lockstress harness allowed).
+type Case struct {
+	Name string
+	Make func(workers int) (CS, error)
+}
+
+// Fixed wraps an already-built lock of bounded capacity (for example a
+// nativelock.AndersonLock whose Capacity() is fixed): Make refuses
+// worker counts beyond the capacity with a clear error instead of
+// letting the run corrupt the queue.
+func Fixed(name string, capacity int, cs CS) Case {
+	return Case{Name: name, Make: func(workers int) (CS, error) {
+		if workers > capacity {
+			return nil, fmt.Errorf("stress: lock %s admits at most %d concurrent workers, got %d", name, capacity, workers)
+		}
+		return cs, nil
+	}}
+}
+
+// ok wraps an unfailable constructor into the Make signature.
+func ok(make func(workers int) CS) func(int) (CS, error) {
+	return func(workers int) (CS, error) { return make(workers), nil }
+}
+
+// Cases returns the spin-lock zoo, classic locks first, then the queue
+// locks, then the paper's constructions. Every Make builds a fresh
+// instance, so cases carry no state between runs.
+func Cases() []Case {
+	return []Case{
+		{"mutex", ok(func(int) CS {
+			mu := new(sync.Mutex)
+			return func(_ int, body func()) { mu.Lock(); body(); mu.Unlock() }
+		})},
+		{"tas", ok(func(int) CS {
+			l := new(nativelock.TASLock)
+			return func(_ int, body func()) { l.Lock(); body(); l.Unlock() }
+		})},
+		{"ttas", ok(func(int) CS {
+			l := new(nativelock.TTASLock)
+			return func(_ int, body func()) { l.Lock(); body(); l.Unlock() }
+		})},
+		{"ticket", ok(func(int) CS {
+			l := new(nativelock.TicketLock)
+			return func(_ int, body func()) { l.Lock(); body(); l.Unlock() }
+		})},
+		{"anderson", ok(func(workers int) CS {
+			l := nativelock.NewAndersonLock(workers)
+			return func(_ int, body func()) { s := l.Lock(); body(); l.UnlockSlot(s) }
+		})},
+		{"clh", ok(func(int) CS {
+			l := nativelock.NewCLHLock()
+			return func(_ int, body func()) { t := l.Lock(); body(); l.Unlock(t) }
+		})},
+		{"mcs", ok(func(int) CS {
+			l := nativelock.NewMCSLock()
+			return func(_ int, body func()) { n := l.Lock(); body(); l.Unlock(n) }
+		})},
+		{"gt", ok(func(int) CS {
+			l := nativelock.NewGraunkeThakkarLock()
+			return func(_ int, body func()) { t := l.Lock(); body(); l.Unlock(t) }
+		})},
+		{"generic-inc", ok(func(workers int) CS {
+			l := nativelock.NewGeneric(workers, nativelock.FetchIncrement)
+			return func(id int, body func()) { l.LockID(id); body(); l.UnlockID(id) }
+		})},
+		{"generic-swap", ok(func(workers int) CS {
+			l := nativelock.NewGeneric(workers, nativelock.FetchStore)
+			return func(id int, body func()) { l.LockID(id); body(); l.UnlockID(id) }
+		})},
+		{"peterson-tree", ok(func(workers int) CS {
+			l := nativelock.NewTreeLock(workers)
+			return func(id int, body func()) { l.LockID(id); body(); l.UnlockID(id) }
+		})},
+	}
+}
+
+// Names returns the zoo's lock names in presentation order.
+func Names() []string {
+	cs := Cases()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Find returns the named case (case-insensitive).
+func Find(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return Case{}, false
+}

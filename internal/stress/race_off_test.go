@@ -1,0 +1,6 @@
+//go:build !race
+
+package stress
+
+// raceDetectorEnabled: see race_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package stress
+
+// raceDetectorEnabled guards tests that deliberately break mutual
+// exclusion: under -race the detector (correctly) reports the
+// unprotected harness state the broken lock exposes, so those tests
+// only run without it.
+const raceDetectorEnabled = true

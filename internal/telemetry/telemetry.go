@@ -115,6 +115,12 @@ func New(now func() time.Time) *Registry {
 	}
 }
 
+// Now reads the registry clock. Callers that need their own instants —
+// per-acquisition latencies, window stamps — read here rather than the
+// wall clock, so injecting a fake at construction governs every
+// measurement of the run, not just snapshot timing.
+func (r *Registry) Now() time.Time { return r.now() }
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
