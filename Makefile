@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint baseline-stress gate clean
+.PHONY: ci lint vet fetchphilint lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke abort-smoke claims claims-smoke bench sweep report baseline baseline-claims baseline-lint baseline-stress gate clean
 
 # ci is the full tier-1 pipeline: static checks (vet + the repo's own
 # analysis suite, gated against the checked-in lint baseline), build,
 # tests, the race detector over the genuinely concurrent packages, the
 # trace-pipeline smoke test, the sharded model-checker smoke, the
-# distributed-fleet + telemetry smokes, the native-stress smoke, and
-# the claims-conformance gate + smoke.
-ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke claims claims-smoke
+# distributed-fleet + telemetry smokes, the native-stress smoke, the
+# abortable-pipeline smoke, and the claims-conformance gate + smoke.
+ci: lint-gate build test race trace-smoke explore-smoke fleet-smoke telemetry-smoke stress-smoke abort-smoke claims claims-smoke
 
 # lint runs go vet plus cmd/fetchphilint — the per-package analyzers
 # (awaitwatch, memsimpurity, determinism, phasebalance), the
@@ -37,11 +37,16 @@ test:
 # race covers the packages that use real goroutines: the native spin
 # locks (including the starvation smokes), the stress harness that
 # drives them, the sharded explorer in memsim, the parallel sweep
-# engine and sharded checker in harness, the obs artifact layer they
-# record into, the coordinator/worker fleet, and the telemetry
-# registry every fleet component observes into concurrently.
+# engine and sharded checker in harness (abortable sweeps included),
+# the obs artifact layer they record into, the coordinator/worker
+# fleet, the telemetry registry every fleet component observes into
+# concurrently, and the claims evaluator. The experiments package is
+# restricted to its parallel-sweep tests: the exhaustive conformance
+# runs there are single-worker model checks where the race detector
+# adds minutes and finds nothing.
 race:
-	$(GO) test -race ./internal/nativelock/... ./internal/stress/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/... ./internal/telemetry/...
+	$(GO) test -race ./internal/nativelock/... ./internal/stress/... ./internal/memsim/... ./internal/harness/... ./internal/obs/... ./internal/fleet/... ./internal/telemetry/... ./internal/claims/...
+	$(GO) test -race -run 'TestE10|TestSweep' ./internal/experiments/...
 
 # trace-smoke exercises the whole trace pipeline on a real workload:
 # record a 4-process G-DSM run as a fetchphi.trace/v1 artifact,
@@ -88,6 +93,17 @@ telemetry-smoke:
 stress-smoke:
 	$(GO) run ./cmd/lockstress -lock mutex,ticket,clh,mcs -workers 4 -iters 5000 -window 2000 -out bench/current/STRESS_smoke.json
 	$(GO) run ./cmd/lockstress -in bench/current/STRESS_smoke.json -baseline bench/current/STRESS_smoke.json
+
+# abort-smoke gates CI on the abortable pipeline end to end: a quick
+# live E10 sweep (pinned abort schedules, every abortable algorithm,
+# both memory models) must produce abort-accounted cells, and the
+# claims engine must reproduce the O(1)-amortized verdict from the
+# fresh artifact — cmd/claims exits nonzero on any NOT-reproduced
+# verdict, so this is a live reproduction, not a replay; the E1–E9
+# claims are merely inconclusive here and do not gate.
+abort-smoke:
+	$(GO) run ./cmd/report -experiments E10 -quick -out bench/current/abort-smoke
+	$(GO) run ./cmd/claims -bench bench/current/abort-smoke -out bench/current/abort-smoke/CLAIMS.json
 
 # claims evaluates the paper-claims registry over the checked-in
 # bench/baseline artifacts (so it works on a fresh clone, with no

@@ -254,6 +254,9 @@ func buildArtifact(root string, rels []string, diags []lint.Diagnostic, engine *
 		row.RMR = obs.LintRMR{Ops: sum.Ops, Bounded: sum.Bounded()}
 		if algo.RMRO1 != nil {
 			row.RMR.Declared = "O(1)"
+			if algo.RMRO1.Amortized {
+				row.RMR.Declared = "O(1) amortized"
+			}
 		}
 		for _, pos := range sum.Unbounded {
 			row.RMR.Unbounded = append(row.RMR.Unbounded,

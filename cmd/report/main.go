@@ -1,5 +1,5 @@
 // Command report is the observability driver: it runs any subset of
-// the experiments (E1–E9) through the parallel sweep engine, writes
+// the experiments (E1–E10) through the parallel sweep engine, writes
 // one BENCH_<experiment>.json artifact per experiment, and — when a
 // baseline directory is given — gates the run against the prior
 // artifacts, exiting non-zero on any RMR regression.
@@ -100,7 +100,7 @@ func selectExperiments(which string, registry []experiments.Experiment) (map[str
 		}
 		id, ok := known[strings.ToLower(tok)]
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q (want E1..E9 or all)", tok)
+			return nil, fmt.Errorf("unknown experiment %q (want E1..E10 or all)", tok)
 		}
 		selected[id] = true
 	}
@@ -116,7 +116,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which    = fs.String("experiments", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		which    = fs.String("experiments", "all", "comma-separated experiment ids (E1..E10) or 'all'")
 		quick    = fs.Bool("quick", false, "trim the sweeps (small N only)")
 		seed     = fs.Int64("seed", 1, "scheduler seed family")
 		workers  = fs.Int("workers", 0, "sweep-engine workers per experiment (0 = GOMAXPROCS)")

@@ -51,6 +51,12 @@ const (
 	// structural bound), while an unfair lock's bypass must grow
 	// strictly.
 	BypassSlack = 2
+	// AbortWaitFreeBound is the most own-process scheduling points an
+	// abort request may stay pending before withdrawal stops counting
+	// as wait-free. Mirrors harness.AbortResolveBound (a test asserts
+	// the two never drift); claims stays a pure artifact-analysis layer
+	// rather than importing the simulation harness for one constant.
+	AbortWaitFreeBound = 200
 )
 
 // Registry returns the paper's claims in paper order. The six entries
@@ -100,6 +106,13 @@ func Registry() []Claim {
 			Paper:       "TA/GT CC-only; MCS O(1) both; MCS-swap-only unfair",
 			Experiments: []string{"E6", "E7"},
 			Eval:        evalSec1Attributes,
+		},
+		{
+			ID:          "abortable-amortized",
+			Title:       "Abortable (amortized)",
+			Paper:       "O(1) amortized RMR/passage on CC and DSM; wait-free aborts",
+			Experiments: []string{"E10"},
+			Eval:        evalAbortableAmortized,
 		},
 	}
 }
@@ -743,4 +756,90 @@ func evalSec1Attributes(b Bench) Outcome {
 	measured := fmt.Sprintf("TAS/ticket/TA/GT/CLH spin remotely on DSM (%d–%d re-checks), MCS variants and G-DSM 0 on both; only test-and-set's bypass grows with run length (%d→%d)",
 		loSpin, hiSpin, tasShort, tasLong)
 	return Outcome{Verdict: ck.verdict(), Measured: measured, Details: ck.details}
+}
+
+// amortizedSeries groups an artifact's abortable cells by
+// algorithm+model into (N, amortized RMR/passage) series, aggregating
+// seeds at the same N by max. Cells that never recorded a passage
+// (non-abortable strays in the artifact) are excluded — the series
+// must measure the amortized metric, not a zero default.
+func amortizedSeries(a *obs.Artifact) map[string][]fit.Point {
+	byKey := make(map[string]map[int]float64)
+	for _, c := range a.Cells {
+		if c.WallClock || c.Passages == 0 {
+			continue
+		}
+		key := c.Algorithm + " on " + c.Model
+		m := byKey[key]
+		if m == nil {
+			m = make(map[int]float64)
+			byKey[key] = m
+		}
+		if c.AmortizedRMR > m[c.N] {
+			m[c.N] = c.AmortizedRMR
+		}
+	}
+	out := make(map[string][]fit.Point, len(byKey))
+	for key, m := range byKey {
+		ns := make([]int, 0, len(m))
+		for n := range m {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		pts := make([]fit.Point, 0, len(ns))
+		for _, n := range ns {
+			pts = append(pts, fit.Point{N: n, Y: m[n]})
+		}
+		out[key] = pts
+	}
+	return out
+}
+
+// evalAbortableAmortized: the abortable locks cost O(1) amortized RMR
+// per passage (total RMR ÷ completed-or-withdrawn passages) on both
+// models under the E10 abort adversary, every cell actually withdrew
+// requests, and every withdrawal resolved within the wait-free bound.
+func evalAbortableAmortized(b Bench) Outcome {
+	a := b["E10"]
+	series := amortizedSeries(a)
+	ck := &checker{}
+	if len(series) == 0 {
+		ck.missf("E10 artifact has no abortable cells")
+		return Outcome{Verdict: ck.verdict(), Measured: "E10 artifact has no abortable cells", Details: ck.details}
+	}
+	models := make(map[string]bool)
+	for _, c := range a.Cells {
+		if c.Passages > 0 {
+			models[c.Model] = true
+		}
+	}
+	for _, model := range []string{"CC", "DSM"} {
+		if !models[model] {
+			ck.missf("E10 has no abortable cells on %s; the claim spans both models", model)
+		}
+	}
+	minN, maxN, first, last, fits := constantFitChecks(ck, series, "amortized RMR/passage", "O(1) amortized")
+	var totalAborts, worstResolve int64
+	vacuous := 0
+	for _, c := range a.Cells {
+		if c.Passages == 0 {
+			continue
+		}
+		totalAborts += c.Aborts
+		if c.Aborts == 0 {
+			vacuous++
+		}
+		if c.MaxAbortResolve > worstResolve {
+			worstResolve = c.MaxAbortResolve
+		}
+	}
+	ck.checkf(vacuous == 0,
+		"every abortable cell withdrew at least one request (%d aborts total, %d vacuous cells): the amortized denominator is exercised everywhere",
+		totalAborts, vacuous)
+	ck.checkf(worstResolve <= AbortWaitFreeBound,
+		"withdrawal is wait-free: worst abort resolved in %d own steps (bound %d)",
+		worstResolve, AbortWaitFreeBound)
+	measured := fmt.Sprintf("amortized %.1f→%.1f flat from N=%d→%d across %d series; %d aborts, worst resolve %d steps",
+		first, last, minN, maxN, len(series), totalAborts, worstResolve)
+	return Outcome{Verdict: ck.verdict(), Measured: measured, Details: ck.details, Series: fits}
 }

@@ -6,8 +6,19 @@ import (
 	"strings"
 	"testing"
 
+	"fetchphi/internal/harness"
 	"fetchphi/internal/obs"
 )
+
+// TestAbortWaitFreeBoundMatchesHarness pins the claims-layer mirror of
+// the harness constant: the predicate and the conformance checker must
+// judge wait-freedom by the same number.
+func TestAbortWaitFreeBoundMatchesHarness(t *testing.T) {
+	if AbortWaitFreeBound != harness.AbortResolveBound {
+		t.Fatalf("claims.AbortWaitFreeBound = %d, harness.AbortResolveBound = %d — the mirrored constants drifted",
+			AbortWaitFreeBound, harness.AbortResolveBound)
+	}
+}
 
 const baselineDir = "../../bench/baseline"
 
@@ -52,7 +63,10 @@ func TestEvaluateBaselineReproducesEverything(t *testing.T) {
 // re-derives the verdict from them).
 func TestEvaluateGrowthClaimsCarrySeries(t *testing.T) {
 	art := Evaluate(loadBaseline(t))
-	wantSeries := map[string]bool{"lemma-1": true, "lemma-2": true, "theorem-1": true, "theorem-2": true}
+	wantSeries := map[string]bool{
+		"lemma-1": true, "lemma-2": true, "theorem-1": true, "theorem-2": true,
+		"abortable-amortized": true,
+	}
 	for _, c := range art.Claims {
 		if wantSeries[c.ID] && len(c.Series) == 0 {
 			t.Errorf("%s: no evidence series", c.ID)
@@ -158,6 +172,56 @@ func TestEvaluateDetectsGrowthMisclassification(t *testing.T) {
 		if c.ID == "lemma-1" && c.Verdict != NotReproduced {
 			t.Fatalf("lemma-1 with linear RMR growth: verdict %s, want %s\ndetails:\n  %s",
 				c.Verdict, NotReproduced, strings.Join(c.Details, "\n  "))
+		}
+	}
+}
+
+// TestEvaluateDetectsAmortizedGrowth: replace E10's amortized figures
+// with a series that grows in N and the abortable claim must stop
+// reproducing — the fit engine catches a lock whose withdrawal cost
+// leaks into later passages.
+func TestEvaluateDetectsAmortizedGrowth(t *testing.T) {
+	b := loadBaseline(t)
+	e10 := *b["E10"]
+	e10.Cells = append([]obs.Cell(nil), e10.Cells...)
+	for i := range e10.Cells {
+		e10.Cells[i].AmortizedRMR = float64(5 * e10.Cells[i].N) // Θ(N) growth
+	}
+	b["E10"] = &e10
+	art := Evaluate(b)
+	for _, c := range art.Claims {
+		if c.ID == "abortable-amortized" && c.Verdict != NotReproduced {
+			t.Fatalf("abortable-amortized with linear amortized growth: verdict %s, want %s\ndetails:\n  %s",
+				c.Verdict, NotReproduced, strings.Join(c.Details, "\n  "))
+		}
+	}
+}
+
+// TestEvaluateDetectsSlowWithdrawal: an E10 cell whose abort request
+// stayed pending past the wait-free bound must contradict the claim
+// with a FAIL line naming the bound.
+func TestEvaluateDetectsSlowWithdrawal(t *testing.T) {
+	b := loadBaseline(t)
+	e10 := *b["E10"]
+	e10.Cells = append([]obs.Cell(nil), e10.Cells...)
+	e10.Cells[0].MaxAbortResolve = AbortWaitFreeBound + 1
+	b["E10"] = &e10
+	art := Evaluate(b)
+	for _, c := range art.Claims {
+		if c.ID != "abortable-amortized" {
+			continue
+		}
+		if c.Verdict != NotReproduced {
+			t.Fatalf("abortable-amortized with a slow withdrawal: verdict %s, want %s", c.Verdict, NotReproduced)
+		}
+		found := false
+		for _, d := range c.Details {
+			if strings.HasPrefix(d, "FAIL") && strings.Contains(d, "wait-free") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("details lack a FAIL line for the wait-free break:\n  %s", strings.Join(c.Details, "\n  "))
 		}
 	}
 }

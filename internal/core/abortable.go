@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"fetchphi/internal/memsim"
+	"fetchphi/internal/phi"
+	"fetchphi/internal/twoproc"
+)
+
+// This file adds abortable mutual exclusion on top of the paper's
+// machinery, in the direction of Jayanti & Jayanti's constant-
+// amortized-RMR deterministic abortable mutex: a process may withdraw
+// its request while still in the entry section, withdrawal is
+// wait-free (a bounded number of the withdrawer's own steps), and the
+// honest cost metric becomes AMORTIZED RMR per passage, where a
+// passage is a request that either entered the critical section or
+// withdrew.
+//
+// Both algorithms here use the same queue-unwinding idea, the
+// ABORT-MARKER RELAY: a waiter that withdraws cannot excise its queue
+// node (fetch-and-φ tails are append-only), so instead it deregisters
+// from its wait site and leaves a marker at that site — written
+// atomically with the establisher via the site's two-process lock —
+// naming the site where ITS successor waits. A releaser that finds a
+// marker does not establish the signal (nobody will consume it);
+// it follows the marker and releases the successor's site instead,
+// repeating until it finds a live waiter or the end of the queue.
+// Every relay hop consumes one marker and every marker was paid for by
+// one abort, so total relay work is bounded by total aborts: each
+// passage, completed or withdrawn, costs O(1) amortized RMR on both
+// CC and DSM machines.
+
+// AbortableLock is the abortable counterpart of the Algorithm surface:
+// AcquireAbortable returns false if the entry section observed a
+// pending abort request (delivered by the memsim abort schedule) and
+// withdrew — the caller must then finish the passage with
+// memsim.Proc.AbortPassage, not Release. A request that loses the race
+// with acquisition lapses: AcquireAbortable returns true and the
+// passage completes normally. Acquire/Release retain their
+// non-abortable contract, so every AbortableLock is also a valid
+// harness Algorithm and runs the standard conformance suite unchanged.
+type AbortableLock interface {
+	Name() string
+	Acquire(p *memsim.Proc)
+	Release(p *memsim.Proc)
+	AcquireAbortable(p *memsim.Proc) bool
+}
+
+// ---------------------------------------------------------------------
+// TokenAbortable: the Jayanti-style constant-amortized-RMR baseline.
+// ---------------------------------------------------------------------
+
+// TokenAbortable is a token-FIFO abortable lock built directly on the
+// abort-marker relay. Every request draws a globally unique token t
+// (encoded (process, round)) and swaps it into the tail, learning its
+// predecessor's token; it then waits — through a Sec. 3 site, so the
+// spin is local on DSM — for Grant[prev] to be established. A released
+// or withdrawn request hands the baton on by establishing Grant of its
+// own token, following markers across withdrawn requests.
+//
+// Tokens are never reused, so grants persist harmlessly and no signal
+// consumption or reset is needed; the unbounded Grant/Mark families
+// mirror the paper's own use of variables indexed by unbounded
+// fetch-and-φ values. Entry, exit, and withdrawal are each O(1)
+// operations apart from the relay loop, whose total length is bounded
+// by the number of withdrawals — O(1) amortized RMR per passage on CC
+// and DSM.
+//
+//fetchphilint:rmr O(1) amortized: relay hops are prepaid one-for-one by aborts
+type TokenAbortable struct {
+	m     *memsim.Machine
+	nproc int
+
+	tail  memsim.Var   // last token swapped in; 0 = never used
+	grant *memsim.Dict // grant[t] != 0: token t's holder has passed the baton
+	mark  *memsim.Dict // mark[t]: waiter on grant[t] withdrew; relay to this token
+	sites *SiteSet     // one Sec. 3 site per awaited token
+
+	rounds []Word // private per-process token counters
+	held   []Word // private: token of each process's open acquisition
+}
+
+// NewTokenAbortable builds an instance for m's N processes.
+func NewTokenAbortable(m *memsim.Machine) *TokenAbortable {
+	n := m.NumProcs()
+	return &TokenAbortable{
+		m:      m,
+		nproc:  n,
+		tail:   m.NewVar("token.Tail", memsim.HomeGlobal, 0),
+		grant:  m.NewDict("token.Grant", memsim.HomeGlobal, 0),
+		mark:   m.NewDict("token.Mark", memsim.HomeGlobal, 0),
+		sites:  NewSiteSet(m, "token.W"),
+		rounds: make([]Word, n),
+		held:   make([]Word, n),
+	}
+}
+
+// Name implements harness.Algorithm.
+func (l *TokenAbortable) Name() string { return "token-abortable/fetch-and-store" }
+
+// token draws the next unique nonzero token for p.
+func (l *TokenAbortable) token(p *memsim.Proc) Word {
+	t := l.rounds[p.ID()]*Word(l.nproc) + Word(p.ID()) + 1
+	l.rounds[p.ID()]++
+	return t
+}
+
+// Acquire implements the non-abortable entry section.
+func (l *TokenAbortable) Acquire(p *memsim.Proc) {
+	if !l.AcquireAbortable(p) {
+		p.Fail("core: %s withdrew with no abort scheduled", l.Name())
+	}
+}
+
+// AcquireAbortable implements the abortable entry section.
+func (l *TokenAbortable) AcquireAbortable(p *memsim.Proc) bool {
+	if p.AbortRequested() {
+		return false // not yet enqueued: withdrawing is free
+	}
+	t := l.token(p)
+	prev := p.FetchPhi(l.tail, phi.FetchAndStore{}, t)
+	if prev != 0 {
+		sig := l.grant.At(prev)
+		if l.sites.At(prev).WaitAbortable(p,
+			func(read func(memsim.Var) Word) bool { return read(sig) != 0 },
+			func() { p.Write(l.mark.At(prev), t) },
+		) {
+			return false
+		}
+	}
+	l.held[p.ID()] = t
+	return true
+}
+
+// Release implements the exit section: establish the grant for our own
+// token, relaying across markers left by withdrawn successors.
+func (l *TokenAbortable) Release(p *memsim.Proc) {
+	relayGrants(p, l.sites, l.grant, l.mark, l.held[p.ID()])
+}
+
+// relayGrants establishes the grant for token k; if the waiter on k
+// withdrew (marker present), the grant is skipped — it would never be
+// consumed — and the baton follows the marker to the withdrawn
+// waiter's own token. Marker reads and grant establishment happen
+// inside the site's Signal critical section, mutually exclusive with
+// the withdrawer's marker write, so exactly one of the two sides
+// observes the other.
+func relayGrants(p *memsim.Proc, sites *SiteSet, grant, mark *memsim.Dict, k Word) {
+	for {
+		var marker Word
+		sig := grant.At(k)
+		sites.At(k).Signal(p, func() {
+			marker = p.Read(mark.At(k))
+			if marker != 0 {
+				p.Write(mark.At(k), 0)
+			} else {
+				p.Write(sig, 1)
+			}
+		})
+		if marker == 0 {
+			return
+		}
+		k = marker
+	}
+}
+
+// ---------------------------------------------------------------------
+// GDSMAbortable: Algorithm G-DSM with queue-node unwinding.
+// ---------------------------------------------------------------------
+
+// GDSMAbortable is the abortable variant of Algorithm G-DSM: the same
+// two-generation queue structure (fetch-and-φ tails, Sec. 3 transformed
+// waits, two-process arbitration between queues) with three abort
+// windows wired through the marker relay:
+//
+//   - before enqueueing: the request withdraws by re-announcing
+//     inactivity through its own process site — it never held a queue
+//     node, so nothing is unwound;
+//   - while awaiting the predecessor's signal: the request deregisters
+//     from the queue site and leaves a marker naming its own node, so
+//     the baton skips it (the relay replaces Fig. 3's lines 41–45);
+//   - while awaiting the two-process lock: the inner acquisition is
+//     abandoned (twoproc.AcquireAbortable) but the request already
+//     holds its queue's baton, so it performs the full exit-section
+//     duties — position sweep, possible queue exchange, successor
+//     relay — before going inactive. Position operations need no lock:
+//     they are serialized by the baton itself.
+//
+// The exit section always uses the delegation handshake (the
+// noExitWait extension), so neither release nor withdrawal ever blocks
+// on another process's progress — which is what keeps withdrawal
+// wait-free and passages O(1) amortized RMR.
+//
+// Withdrawn requests make fetch-and-φ values outlive the 2N-invocation
+// window the rank analysis of Theorem 1 assumes, so the construction
+// requires a primitive of infinite rank (fetch-and-increment,
+// fetch-and-store, ...): values never alias, and the existing
+// stale-signal clear at queue exchange covers the one signal a relay
+// can strand at the tail.
+//
+//fetchphilint:rmr O(1) amortized: Theorem 1 plus marker relays prepaid by aborts
+type GDSMAbortable struct {
+	m    *memsim.Machine
+	prim phi.Primitive
+	n    int
+
+	currentQueue memsim.Var
+	tail         [2]memsim.Var
+	position     [2]memsim.Var
+	signal       [2]*memsim.Dict
+	mark         [2]*memsim.Dict
+	active       []memsim.Var
+	queueID      []memsim.Var
+	delegate     []memsim.Var
+	two          *twoproc.Mutex
+
+	procSites *SiteSet // Waiter1 sites, keyed by process id
+	queueSite *SiteSet // Waiter2 sites, keyed by (queue, value)
+
+	st []gccState
+}
+
+// NewGDSMAbortable builds an instance for m's N processes on top of
+// prim, which must have infinite rank.
+func NewGDSMAbortable(m *memsim.Machine, prim phi.Primitive) *GDSMAbortable {
+	if prim.Rank() != phi.RankInfinite {
+		panic(fmt.Sprintf("core: abortable G-DSM needs an infinite-rank primitive, but %s has rank %d",
+			prim.Name(), prim.Rank()))
+	}
+	n := m.NumProcs()
+	name := "gdsm-abort"
+	g := &GDSMAbortable{
+		m:            m,
+		prim:         prim,
+		n:            n,
+		currentQueue: m.NewVar(name+".CurrentQueue", memsim.HomeGlobal, 0),
+		tail: [2]memsim.Var{
+			m.NewVar(name+".Tail[0]", memsim.HomeGlobal, phi.Bottom),
+			m.NewVar(name+".Tail[1]", memsim.HomeGlobal, phi.Bottom),
+		},
+		position: [2]memsim.Var{
+			m.NewVar(name+".Position[0]", memsim.HomeGlobal, 0),
+			m.NewVar(name+".Position[1]", memsim.HomeGlobal, 0),
+		},
+		signal: [2]*memsim.Dict{
+			m.NewDict(name+".Signal[0]", memsim.HomeGlobal, 0),
+			m.NewDict(name+".Signal[1]", memsim.HomeGlobal, 0),
+		},
+		mark: [2]*memsim.Dict{
+			m.NewDict(name+".Mark[0]", memsim.HomeGlobal, 0),
+			m.NewDict(name+".Mark[1]", memsim.HomeGlobal, 0),
+		},
+		active:    m.NewArray(name+".Active", n, memsim.HomeGlobal, 0),
+		queueID:   m.NewArray(name+".QueueId", n, memsim.HomeGlobal, qidBottom),
+		delegate:  m.NewArray(name+".Delegate", n, memsim.HomeGlobal, 0),
+		two:       twoproc.New(m, name+".two"),
+		procSites: NewSiteSet(m, name+".W1"),
+		queueSite: NewSiteSet(m, name+".W2"),
+		st:        make([]gccState, n),
+	}
+	for s := 0; s < n; s++ {
+		g.st[s].inv = phi.NewInvoker(prim, s)
+	}
+	return g
+}
+
+// Name implements harness.Algorithm.
+func (g *GDSMAbortable) Name() string { return "gdsm-abortable/" + g.prim.Name() }
+
+// Acquire implements the non-abortable entry section.
+func (g *GDSMAbortable) Acquire(p *memsim.Proc) {
+	if !g.AcquireAbortable(p) {
+		p.Fail("core: %s withdrew with no abort scheduled", g.Name())
+	}
+}
+
+// AcquireAbortable implements the abortable entry section.
+func (g *GDSMAbortable) AcquireAbortable(p *memsim.Proc) bool {
+	st := &g.st[p.ID()]
+	me := p.ID()
+
+	p.Write(g.queueID[me], qidBottom)  // 1
+	p.Write(g.active[me], 1)           // 2
+	idx := int(p.Read(g.currentQueue)) // 3
+	g.signalSelfSite(p, me, func() {
+		p.Write(g.queueID[me], qidQueue0+Word(idx)) // 5
+	})
+	if p.AbortRequested() {
+		// Not yet enqueued: withdraw by going inactive. The self-site
+		// signal both releases any exit-section waiter on this slot and
+		// drains a delegation registered in the meantime.
+		g.signalSelfSite(p, me, func() {
+			p.Write(g.active[me], 0)
+		})
+		return false
+	}
+	input := st.inv.UpdateInput()                  // 11
+	prev := p.FetchPhi(g.tail[idx], g.prim, input) // 9
+	self := g.prim.Apply(prev, input)              // 10
+	st.idx, st.self = idx, self
+	if prev != phi.Bottom { // 12
+		sig := g.signal[idx].At(prev)
+		if g.queueSite.At(queueKey(idx, prev)).WaitAbortable(p,
+			func(read func(memsim.Var) Word) bool { return read(sig) != 0 },
+			func() {
+				// Our node is skipped: tell the baton where our
+				// successor waits.
+				p.Write(g.mark[idx].At(prev), self)
+			},
+		) {
+			// Withdrawn without the baton: the node is dead, the relay
+			// will step over it; nothing to unwind but our activity.
+			g.signalSelfSite(p, me, func() {
+				p.Write(g.active[me], 0)
+			})
+			return false
+		}
+		p.Write(sig, 0) // 21
+	}
+	if !g.two.AcquireAbortable(p, idx) { // 22
+		// Withdrawn holding the baton: the inner acquisition was
+		// abandoned (its rival, if any, was released by the
+		// abandonment), but the queue still owes its successor a
+		// signal and its generation a position step. Run the full
+		// exit-section duties, minus the two-process release we never
+		// acquired.
+		g.exitDuties(p, me, idx, st.self)
+		return false
+	}
+	return true
+}
+
+// Release implements the exit section.
+func (g *GDSMAbortable) Release(p *memsim.Proc) {
+	st := &g.st[p.ID()]
+	idx := st.idx
+	pos := p.Read(g.position[idx])  // 23
+	p.Write(g.position[idx], pos+1) // 24
+	g.two.Release(p, idx)           // 25
+	g.finishExit(p, p.ID(), idx, st.self, pos)
+}
+
+// exitDuties performs the baton holder's exit-section obligations for
+// a withdrawn request: the position read/increment is safe without the
+// two-process lock because only the queue's baton holder touches its
+// queue's position.
+func (g *GDSMAbortable) exitDuties(p *memsim.Proc, me, idx int, self Word) {
+	pos := p.Read(g.position[idx])
+	p.Write(g.position[idx], pos+1)
+	g.finishExit(p, me, idx, self, pos)
+}
+
+// finishExit is the tail of the exit section shared by release and
+// baton-holding withdrawal: position sweep (always by delegation, so
+// it never blocks), queue exchange, successor relay, deactivation.
+func (g *GDSMAbortable) finishExit(p *memsim.Proc, me, idx int, self Word, pos Word) {
+	delegated := false
+	switch {
+	case pos < Word(g.n) && pos != Word(me) && p.Read(g.active[pos]) != 0: // 26
+		q := int(pos) // 27
+		g.procSites.At(pos).Visit(p, func() {
+			stillOld := p.Read(g.active[q]) != 0 && p.Read(g.queueID[q]) != qidQueue0+Word(idx)
+			if stillOld {
+				p.Write(g.delegate[q], queueKey(idx, self)+1)
+				delegated = true
+			}
+		})
+	case pos == Word(g.n): // 37
+		g.exchangeQueues(p, idx)
+	}
+	if !delegated {
+		g.signalSuccessor(p, idx, self) // 41–45, with marker relay
+	}
+	g.signalSelfSite(p, me, func() {
+		p.Write(g.active[me], 0) // 47
+	})
+}
+
+// signalSuccessor establishes Signal[idx][self] — or, when the waiter
+// there withdrew, follows its marker and releases the next live waiter
+// down the queue instead.
+func (g *GDSMAbortable) signalSuccessor(p *memsim.Proc, idx int, self Word) {
+	for {
+		var marker Word
+		sig := g.signal[idx].At(self)
+		g.queueSite.At(queueKey(idx, self)).Signal(p, func() {
+			marker = p.Read(g.mark[idx].At(self))
+			if marker != 0 {
+				p.Write(g.mark[idx].At(self), 0)
+			} else {
+				p.Write(sig, 1) // 42
+			}
+		})
+		if marker == 0 {
+			return
+		}
+		self = marker
+	}
+}
+
+// signalSelfSite runs an establishing write on process me's own site
+// and drains a pending delegation, exactly as GDSM.signalSelfSite —
+// except the delegated successor signal fires through the relay.
+func (g *GDSMAbortable) signalSelfSite(p *memsim.Proc, me int, establish func()) {
+	var duty Word
+	g.procSites.At(Word(me)).Signal(p, func() {
+		establish()
+		duty = p.Read(g.delegate[me])
+		if duty != 0 {
+			p.Write(g.delegate[me], 0)
+		}
+	})
+	if duty != 0 {
+		k := duty - 1
+		g.signalSuccessor(p, int(k&1), k>>1)
+	}
+}
+
+// exchangeQueues is GDSM's (Fig. 3 lines 38–40), including the
+// stale-signal clear — which here also covers the signal a marker
+// relay can establish at the tail after its waiter withdrew.
+func (g *GDSMAbortable) exchangeQueues(p *memsim.Proc, idx int) {
+	old := 1 - idx
+	for slot := 0; slot < g.n; slot++ {
+		if g.m.Value(g.active[slot]) != 0 && g.m.Value(g.queueID[slot]) == qidQueue0+Word(old) {
+			p.Fail("core: invariant I1 violated: slot %d still active in old queue %d at exchange", slot, old)
+		}
+	}
+	if last := p.Read(g.tail[old]); last != phi.Bottom {
+		p.Write(g.signal[old].At(last), 0)
+	}
+	p.Write(g.tail[old], phi.Bottom)
+	p.Write(g.position[old], 0)
+	p.Write(g.currentQueue, Word(old))
+}
+
+// Compile-time interface checks.
+var (
+	_ AbortableLock = (*TokenAbortable)(nil)
+	_ AbortableLock = (*GDSMAbortable)(nil)
+)

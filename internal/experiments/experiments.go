@@ -127,6 +127,7 @@ func Registry() []Experiment {
 		{ID: "E7", Build: func(o Opts) []harness.Table { return []harness.Table{E7Fairness(o)} }},
 		{ID: "E8", Build: E8Ablations},
 		{ID: "E9", WallClock: true, Build: func(o Opts) []harness.Table { return []harness.Table{E9Native(o)} }},
+		{ID: "E10", Build: func(o Opts) []harness.Table { return []harness.Table{E10Abortable(o)} }},
 	}
 }
 

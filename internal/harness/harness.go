@@ -81,6 +81,20 @@ type Metrics struct {
 	// entry section. Starvation-free algorithms keep this bounded
 	// (independent of Entries).
 	MaxBypass int64
+	// Aborts is the number of withdrawn passages (abortable workloads;
+	// zero elsewhere).
+	Aborts int64
+	// Passages is the number of completed-or-withdrawn passages — the
+	// denominator of the amortized metric. For abort-free runs it
+	// equals the CS entry count.
+	Passages int64
+	// AmortizedRMR is total RMRs divided by Passages, the honest cost
+	// metric for abortable mutual exclusion.
+	AmortizedRMR float64
+	// MaxAbortResolve is the worst number of a process's own
+	// scheduling points an abort request stayed pending — the
+	// wait-free-withdrawal figure.
+	MaxAbortResolve int64
 	// Obs holds the distributional metrics behind the scalars above:
 	// per-entry histograms of RMR cost, await blocks, and bypass, and
 	// the per-phase RMR breakdown.
@@ -176,6 +190,8 @@ func runTimed(b Builder, w Workload, afterSim func()) (Metrics, error) {
 		MeanRMR:       res.MeanRMRPerEntry(),
 		WorstRMR:      res.MaxRMRPerEntry(),
 		NonLocalSpins: res.NonLocalSpinReads(),
+		Passages:      res.Passages(),
+		AmortizedRMR:  res.AmortizedRMRPerPassage(),
 	}
 	for _, v := range m.HotVars(HotspotTopK) {
 		met.Hotspots = append(met.Hotspots, obs.HotVar{Name: v.Name, RMRs: v.RMRs})

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fetchphi/internal/memsim"
 	"fetchphi/internal/obs"
 	"fetchphi/internal/telemetry"
 )
@@ -24,6 +25,10 @@ type Cell struct {
 	Build Builder
 	// Workload is the configuration to run.
 	Workload Workload
+	// Abortable, if non-nil, turns the cell into an abortable run: the
+	// plan's builder and abort schedule drive RunAbortable instead of
+	// Run (Build may then be nil).
+	Abortable *AbortablePlan
 }
 
 // CellResult pairs a cell with what it measured.
@@ -37,8 +42,32 @@ type CellResult struct {
 	Err error
 }
 
-// Record converts the result into its benchmark-artifact form.
+// Record converts the result into its benchmark-artifact form. The
+// abort-accounting fields are recorded only for abortable cells, so
+// abort-free artifacts are byte-identical to what they always were.
 func (r CellResult) Record() obs.Cell {
+	if r.Cell.Abortable != nil {
+		return obs.Cell{
+			Experiment:      r.Cell.Experiment,
+			Algorithm:       r.Cell.Algorithm,
+			Model:           r.Cell.Workload.Model.String(),
+			N:               r.Cell.Workload.N,
+			Entries:         r.Cell.Workload.Entries,
+			Seed:            r.Cell.Workload.Seed,
+			MeanRMR:         r.Metrics.MeanRMR,
+			WorstRMR:        r.Metrics.WorstRMR,
+			NonLocalSpins:   r.Metrics.NonLocalSpins,
+			MaxBypass:       r.Metrics.MaxBypass,
+			Steps:           r.Metrics.Result.Steps,
+			AbortSchedule:   memsim.FormatAbortSchedule(r.Cell.Abortable.Points),
+			Aborts:          r.Metrics.Aborts,
+			Passages:        r.Metrics.Passages,
+			AmortizedRMR:    r.Metrics.AmortizedRMR,
+			MaxAbortResolve: r.Metrics.MaxAbortResolve,
+			Hotspots:        r.Metrics.Hotspots,
+			Run:             r.Metrics.Obs,
+		}
+	}
 	return obs.Cell{
 		Experiment:    r.Cell.Experiment,
 		Algorithm:     r.Cell.Algorithm,
@@ -148,14 +177,26 @@ func SweepWith(cells []Cell, opts SweepOptions) []CellResult {
 		if progress != nil {
 			progress(ProgressEvent{Cell: c, Done: int(done.Load()), Total: len(cells), Start: true})
 		}
+		runTimedCell := func(afterSim func()) (Metrics, error) {
+			if c.Abortable != nil {
+				aw := AbortWorkload{
+					Workload:   c.Workload,
+					Aborts:     c.Abortable.Points,
+					Retries:    c.Abortable.Retries,
+					RetryDelay: c.Abortable.RetryDelay,
+				}
+				return runAbortableTimed(c.Abortable.Build, aw, afterSim)
+			}
+			return runTimed(c.Build, c.Workload, afterSim)
+		}
 		var met Metrics
 		var err error
 		if opts.Metrics == nil {
-			met, err = Run(c.Build, c.Workload)
+			met, err = runTimedCell(nil)
 		} else {
 			stopCell := opts.Metrics.Time(MetricSweepCellUS)
 			var stopAccount func()
-			met, err = runTimed(c.Build, c.Workload, func() {
+			met, err = runTimedCell(func() {
 				stopAccount = opts.Metrics.Time(MetricSweepAccountUS)
 			})
 			if stopAccount != nil {

@@ -28,7 +28,7 @@ func runAwaitWatch(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if name, ok := procMethod(pass.Info, call); !ok || name != "Await" {
+			if name, ok := procMethod(pass.Info, call); !ok || (name != "Await" && name != "AwaitAbortable") {
 				return true
 			}
 			checkAwait(pass, call)

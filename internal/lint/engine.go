@@ -31,6 +31,12 @@ type Declaration struct {
 	Pos token.Position
 	// Reason is the free-text justification following the keyword.
 	Reason string
+	// Amortized marks an rmr declaration qualified as amortized
+	// (//fetchphilint:rmr O(1) amortized ...): the per-passage cost may
+	// be unbounded as long as aborts prepay it, so the static loop
+	// check does not apply — the claims engine verifies the amortized
+	// bound dynamically instead.
+	Amortized bool
 }
 
 // AlgoInfo is one discovered algorithm: a named type whose method set
@@ -338,7 +344,8 @@ func (e *Engine) parseTypeDirective(pkg *Package, c *ast.Comment, typeName strin
 			})
 			return
 		}
-		di.rmrO1 = &Declaration{Pos: pos, Reason: strings.TrimSpace(strings.TrimPrefix(rest, "O(1)"))}
+		reason := strings.TrimSpace(strings.TrimPrefix(rest, "O(1)"))
+		di.rmrO1 = &Declaration{Pos: pos, Reason: reason, Amortized: strings.HasPrefix(reason, "amortized")}
 	}
 }
 
@@ -351,6 +358,31 @@ const (
 	// is recognized, matching the paper's claims for G-CC/G-DSM.
 	rmrPrefix = "fetchphilint:rmr"
 )
+
+// Abortable reports whether the algorithm's method set also has the
+// abortable entry-section shape AcquireAbortable(p *memsim.Proc) bool
+// (harness.AbortableAlgorithm). Amortized rmr declarations are only
+// meaningful on abortable algorithms: without withdrawals there is
+// nothing to prepay the unbounded loops.
+func (a *AlgoInfo) Abortable() bool {
+	ms := types.NewMethodSet(types.NewPointer(a.Obj.Type()))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "AcquireAbortable" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+			return false
+		}
+		if !isMemsimType(sig.Params().At(0).Type(), "Proc") {
+			return false
+		}
+		b, ok := sig.Results().At(0).Type().(*types.Basic)
+		return ok && b.Kind() == types.Bool
+	}
+	return false
+}
 
 // isEntryMethod reports whether m has the entry/exit section shape
 // func (T) Name(p *memsim.Proc).

@@ -31,6 +31,8 @@ func TestEngineVerdicts(t *testing.T) {
 	wantLocal := map[string]bool{
 		"internal/core.GCC":                    false,
 		"internal/core.GDSM":                   true,
+		"internal/core.GDSMAbortable":          true,
+		"internal/core.TokenAbortable":         true,
 		"internal/core.T0":                     true,
 		"internal/core.T":                      true,
 		"internal/core.Tree":                   true,

@@ -987,7 +987,7 @@ func (cc *callCtx) callNative(fr *frame, key string, recv *value, call *ast.Call
 		return &value{kind: vDict, dc: &absDict{homeFor: arg(1)}}
 	case "Dict.At":
 		return varVal(cc.dictHome(recv, arg(0), spec))
-	case "Proc.Await":
+	case "Proc.Await", "Proc.AwaitAbortable":
 		for i, a := range call.Args[1:] {
 			cc.recordAwait(call, a, cc.eval(fr, call.Args[i+1], spec))
 		}

@@ -66,9 +66,13 @@ func runPhaseBalance(pass *Pass) {
 }
 
 // phaseCalls are the annotation methods the analyzer tracks.
+// AbortPassage is the withdrawal-path closer of the entry window: a
+// passage ends in exactly one of EndExitSection (completed) or
+// AbortPassage (withdrawn).
 var phaseCalls = map[string]bool{
 	"EnterCS": true, "ExitCS": true,
 	"BeginEntrySection": true, "EndExitSection": true,
+	"AbortPassage": true,
 }
 
 // mentionsPhaseCalls reports whether body calls any tracked method
@@ -278,6 +282,14 @@ func applyCalls(pass *Pass, n ast.Node, st phaseState) phaseState {
 			}
 			if st.inCS {
 				pass.Reportf(call.Pos(), "EndExitSection inside the critical section: ExitCS must come first")
+			}
+			st.inEntry = false
+		case "AbortPassage":
+			if !st.inEntry {
+				pass.Reportf(call.Pos(), "AbortPassage without an open entry window (BeginEntrySection) on this path")
+			}
+			if st.inCS {
+				pass.Reportf(call.Pos(), "AbortPassage inside the critical section: a passage that reached EnterCS cannot be withdrawn")
 			}
 			st.inEntry = false
 		}

@@ -31,7 +31,8 @@ var RMRBound = &ModuleAnalyzer{
 	Doc: "statically bound shared-memory operations per entry/exit " +
 		"passage outside Await busy-waits; algorithms declaring " +
 		"//fetchphilint:rmr O(1) must have no reachable shared-op loop " +
-		"without a constant trip count",
+		"without a constant trip count, and O(1) amortized declarations " +
+		"(checked dynamically by the claims engine) must be abortable",
 	Run: runRMRBound,
 }
 
@@ -44,6 +45,21 @@ func runRMRBound(pass *ModulePass) {
 	}
 	for _, algo := range e.Algorithms() {
 		if algo.RMRO1 == nil {
+			continue
+		}
+		if algo.RMRO1.Amortized {
+			// An amortized O(1) bound tolerates unbounded per-passage
+			// loops (aborts prepay them); it is checked dynamically by
+			// the claims engine, not statically. But it only means
+			// anything on an abortable algorithm — on a plain lock
+			// nothing amortizes, so the declaration is a dodge.
+			if !algo.Abortable() {
+				pass.report(Diagnostic{
+					Pos: algo.RMRO1.Pos,
+					Message: "amortized rmr declaration on " + algo.TypeKey +
+						", which has no AcquireAbortable entry section; only abortable algorithms may claim an amortized bound",
+				})
+			}
 			continue
 		}
 		sum := e.RMRSummaryOf(algo)
@@ -151,7 +167,7 @@ func (w *rmrWalker) countCall(pkg *Package, call *ast.CallExpr) int {
 				ops += w.argOps(pkg, a)
 			}
 			return ops
-		case "Await", "AwaitEq", "AwaitTrue", "AwaitNonBottom":
+		case "Await", "AwaitAbortable", "AwaitEq", "AwaitTrue", "AwaitNonBottom":
 			// One charged (remote) read observes the condition; the
 			// spin reads before it are local by localspin's proof and
 			// cost no RMRs, so the condition closure is excluded.

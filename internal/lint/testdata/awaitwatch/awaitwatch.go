@@ -36,6 +36,20 @@ func badUnread(p *memsim.Proc, a, b memsim.Var) {
 	}, a, b) // want "watched variable b is never read"
 }
 
+// okAbortable: AwaitAbortable carries the same watch-set contract as
+// Await — an exact list produces no diagnostics.
+func okAbortable(p *memsim.Proc, a memsim.Var) {
+	_ = p.AwaitAbortable(func(read func(memsim.Var) Word) bool { return read(a) != 0 }, a)
+}
+
+// badAbortableUnwatched: the discipline is enforced on the abortable
+// variant too.
+func badAbortableUnwatched(p *memsim.Proc, a, b memsim.Var) {
+	_ = p.AwaitAbortable(func(read func(memsim.Var) Word) bool {
+		return read(a) != 0 || read(b) != 0 // want "reads b, which is not in the watch list"
+	}, a)
+}
+
 // badProcCall performs a charged memory operation inside the
 // condition, corrupting the spin accounting.
 func badProcCall(p *memsim.Proc, a, b memsim.Var) {

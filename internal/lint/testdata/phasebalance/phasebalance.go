@@ -105,6 +105,44 @@ func badEndWithoutBegin(p *memsim.Proc) {
 	_ = p.EndExitSection() // want "EndExitSection without a matching BeginEntrySection"
 }
 
+// okAbortable is the canonical abortable-harness shape: every passage
+// ends in exactly one of EndExitSection (completed) or AbortPassage
+// (withdrawn), so the window is closed on both branches of the retry
+// loop.
+func okAbortable(p *memsim.Proc, acquired bool, entries int) {
+	for e := 0; e < entries; e++ {
+		p.BeginEntrySection()
+		if acquired {
+			p.EnterCS()
+			p.ExitCS()
+			_ = p.EndExitSection()
+		} else {
+			_ = p.AbortPassage()
+		}
+	}
+}
+
+// badAbortNoWindow withdraws a passage that was never opened.
+func badAbortNoWindow(p *memsim.Proc) {
+	_ = p.AbortPassage() // want "AbortPassage without an open entry window"
+}
+
+// badAbortInCS withdraws after the acquisition already won.
+func badAbortInCS(p *memsim.Proc) {
+	p.BeginEntrySection()
+	p.EnterCS()
+	_ = p.AbortPassage() // want "AbortPassage inside the critical section"
+	p.ExitCS()
+}
+
+// badAbortOnePath closes the window by withdrawal on one branch only.
+func badAbortOnePath(p *memsim.Proc, c bool) {
+	p.BeginEntrySection()
+	if c { // want "BeginEntrySection is matched by EndExitSection on only some paths"
+		_ = p.AbortPassage()
+	}
+}
+
 // okPanic: a panicking path has no further obligations.
 func okPanic(p *memsim.Proc, c bool) {
 	p.EnterCS()

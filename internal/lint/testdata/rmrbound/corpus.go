@@ -147,6 +147,66 @@ func (l *UndeclaredLoop) Release(p *memsim.Proc) {
 	p.Write(l.word, 0)
 }
 
+// AmortizedAbortable carries an unbounded relay loop but declares an
+// amortized bound and is abortable, so the static check stands aside
+// (the claims engine verifies the amortized figure dynamically).
+//
+//fetchphilint:rmr O(1) amortized corpus: aborts prepay the relay loop
+type AmortizedAbortable struct {
+	word  memsim.Var
+	bound memsim.Var
+}
+
+// NewAmortizedAbortable allocates the lock on m.
+func NewAmortizedAbortable(m *memsim.Machine) *AmortizedAbortable {
+	return &AmortizedAbortable{
+		word:  m.NewVar("amo.word", memsim.HomeGlobal, 0),
+		bound: m.NewVar("amo.bound", memsim.HomeGlobal, 0),
+	}
+}
+
+// Acquire implements the entry section.
+func (l *AmortizedAbortable) Acquire(p *memsim.Proc) {
+	l.AcquireAbortable(p)
+}
+
+// AcquireAbortable implements the abortable entry section.
+func (l *AmortizedAbortable) AcquireAbortable(p *memsim.Proc) bool {
+	n := int(p.Read(l.bound))
+	for i := 0; i < n; i++ {
+		p.Write(l.word, Word(i))
+	}
+	return true
+}
+
+// Release implements the exit section.
+func (l *AmortizedAbortable) Release(p *memsim.Proc) {
+	p.Write(l.word, 0)
+}
+
+// AmortizedPlain claims an amortized bound without an abortable entry
+// section: nothing prepays its loops, so the declaration is rejected.
+//
+//fetchphilint:rmr O(1) amortized corpus: nothing amortizes a plain lock // want "no AcquireAbortable entry section"
+type AmortizedPlain struct {
+	word memsim.Var
+}
+
+// NewAmortizedPlain allocates the lock on m.
+func NewAmortizedPlain(m *memsim.Machine) *AmortizedPlain {
+	return &AmortizedPlain{word: m.NewVar("amp.word", memsim.HomeGlobal, 0)}
+}
+
+// Acquire implements the entry section.
+func (l *AmortizedPlain) Acquire(p *memsim.Proc) {
+	p.AwaitTrue(l.word)
+}
+
+// Release implements the exit section.
+func (l *AmortizedPlain) Release(p *memsim.Proc) {
+	p.Write(l.word, 0)
+}
+
 // MalformedDecl claims a bound the checker does not recognize.
 //
 //fetchphilint:rmr O(n) corpus: only O(1) is recognized // want "malformed rmr declaration"

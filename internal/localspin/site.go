@@ -99,6 +99,63 @@ func (site *Site) Wait(p *memsim.Proc, cond func(read func(memsim.Var) Word) boo
 	}
 }
 
+// WaitAbortable is Wait for abortable entry sections. If an abort
+// request reaches p while it spins, the site decides atomically —
+// under the site lock, mutually exclusive with Signal — which of the
+// two outcomes happened:
+//
+//   - condition not yet established: the registration is withdrawn
+//     (Waiter[J] := ⊥) and onAbort runs INSIDE the critical section, so
+//     callers can publish an abort marker that the future establisher
+//     is guaranteed to observe. Returns true (withdrew).
+//   - condition already established: the signaller has committed to
+//     this waiter, and its spin write may still be in flight. The write
+//     is consumed (a bounded wait: the signaller performs it in O(1) of
+//     its own steps) before returning false — Spin[p] is shared by all
+//     of p's sites, and a stale true would satisfy a future wait at a
+//     different site. The caller proceeds exactly as if Wait returned.
+//
+// Every step of the abort path is bounded by a constant number of this
+// process's own scheduling points plus the signaller's O(1) critical
+// section, which is what makes withdrawal wait-free in the simulator's
+// own-steps metric.
+func (site *Site) WaitAbortable(p *memsim.Proc, cond func(read func(memsim.Var) Word) bool, onAbort func()) (withdrew bool) {
+	mine := site.spin.At(Word(p.ID()))
+
+	site.mu.Acquire(p, 0)                                      // a
+	flag := cond(func(v memsim.Var) Word { return p.Read(v) }) // b
+	if flag {
+		p.Write(site.waiter, 0) // c (⊥ branch)
+	} else {
+		p.Write(site.waiter, Word(p.ID())+1) // c
+	}
+	p.Write(mine, 0)      // d
+	site.mu.Release(p, 0) // e
+	if flag {
+		return false
+	}
+	if !p.AwaitAbortable(func(read func(memsim.Var) Word) bool { // g
+		return read(mine) != 0
+	}, mine) {
+		p.Write(site.waiter, 0) // h
+		return false
+	}
+	// Aborted mid-spin: settle the race with the establisher under the
+	// site lock.
+	site.mu.Acquire(p, 0)
+	established := cond(func(v memsim.Var) Word { return p.Read(v) })
+	if !established {
+		p.Write(site.waiter, 0)
+		onAbort()
+		site.mu.Release(p, 0)
+		return true
+	}
+	site.mu.Release(p, 0)
+	p.AwaitTrue(mine)       // consume the in-flight spin write
+	p.Write(site.waiter, 0) // h
+	return false
+}
+
 // Visit runs body inside the site's waiter-side critical section,
 // mutually exclusive with every Signal on the same site. It supports
 // non-blocking site transactions such as the exit-wait delegation of

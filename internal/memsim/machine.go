@@ -142,6 +142,8 @@ type Machine struct {
 	trace      *traceRing  // nil unless EnableTrace was called
 	sinks      []EventSink // observers of every shared-memory operation
 	phaseSinks []PhaseSink // the subset of sinks observing phase transitions
+
+	abortPoints []AbortPoint // adversary abort schedule (see abort.go)
 }
 
 // NewMachine returns a machine with the given memory model, sized for

@@ -32,16 +32,22 @@ const (
 	reportStep    reportKind = iota // at a scheduling point, ready for next op
 	reportBlocked                   // await condition false; now waiting
 	reportDone                      // body returned
-	reportAborted                   // violation detected inside the process
+	// reportViolation: an assertion failed inside the process body and
+	// the run is being torn down. This is about the RUN, not the
+	// process's current request — "abort" in this package's API always
+	// means abort-the-request (AbortPoint, AwaitAbortable,
+	// AbortPassage), never a detected violation.
+	reportViolation
 )
 
 // killed is the panic sentinel used to unwind a process goroutine when
 // the engine tears a run down.
 type killed struct{}
 
-// abort is the panic sentinel carrying a violation out of a process
-// body.
-type abort struct{ err error }
+// violation is the panic sentinel carrying an assertion failure out of
+// a process body. (It was once called `abort`, a name now reserved for
+// abortable mutual exclusion's abort-the-request machinery.)
+type violation struct{ err error }
 
 // ProcStats accumulates the per-process metrics the experiments report.
 type ProcStats struct {
@@ -68,6 +74,17 @@ type ProcStats struct {
 	// BeginEntrySection/EnterCS/ExitCS/EndExitSection; processes that
 	// never call those charge everything to PhaseNCS.
 	PhaseRMRs [NumPhases]int64
+	// Aborts counts passages the process withdrew from after an abort
+	// request (AbortPassage calls). A passage that reached the critical
+	// section despite a pending request is a CS entry, not an abort.
+	Aborts int64
+	// MaxAbortResolveSteps is the largest number of the process's OWN
+	// scheduling points between an abort request firing and its
+	// resolution (withdrawal via AbortPassage, or CS entry when the
+	// acquisition won the race). Wait-free aborts keep this bounded by
+	// a constant independent of the schedule; the abort-conformance
+	// tests assert a bound over every explored schedule.
+	MaxAbortResolveSteps int64
 }
 
 // Proc is one simulated process. All its methods must be called from
@@ -89,6 +106,19 @@ type Proc struct {
 	stats        ProcStats
 	phase        Phase
 	rmrAtAcquire int64 // RMR count when the current entry section began
+
+	// Abort-schedule state (see abort.go). passage counts
+	// BeginEntrySection calls (-1 before the first); entryEvents counts
+	// the process's scheduling points inside the current entry section.
+	// abortPoints is this process's slice of the machine's schedule, in
+	// firing order; abortPending is the delivered-but-unresolved
+	// request.
+	passage        int
+	entryEvents    int
+	abortPoints    []AbortPoint
+	abortNext      int
+	abortPending   bool
+	abortFireSteps int64 // stats.Steps when the pending request fired
 }
 
 // ID returns the process id (0..N-1).
@@ -112,12 +142,13 @@ func (m *Machine) AddProc(name string, body func(*Proc)) *Proc {
 		panic(fmt.Sprintf("memsim: more than %d processes added", m.nproc))
 	}
 	p := &Proc{
-		m:      m,
-		id:     len(m.procs),
-		name:   name,
-		body:   body,
-		resume: make(chan bool),
-		report: make(chan reportKind),
+		m:       m,
+		id:      len(m.procs),
+		name:    name,
+		body:    body,
+		resume:  make(chan bool),
+		report:  make(chan reportKind),
+		passage: -1,
 	}
 	m.procs = append(m.procs, p)
 	return p
@@ -125,12 +156,21 @@ func (m *Machine) AddProc(name string, body func(*Proc)) *Proc {
 
 // yield hands control to the engine and blocks until resumed. It
 // panics with the kill sentinel when the engine is tearing down.
+//
+// Every resumption inside an entry section is one abort-schedule
+// "event" (see AbortPoint.Event): pending abort points fire here,
+// synchronously within the process's own execution, which is what
+// keeps abort delivery a pure function of the schedule.
 func (p *Proc) yield(kind reportKind) {
 	p.report <- kind
 	if <-p.resume {
 		panic(killed{})
 	}
 	p.stats.Steps++
+	if p.phase == PhaseEntry {
+		p.entryEvents++
+		p.fireAbortPoints()
+	}
 }
 
 // Read performs an atomic read of v. One scheduling point.
@@ -180,6 +220,37 @@ func (p *Proc) Await(cond func(read func(Var) Word) bool, watch ...Var) {
 	}
 }
 
+// AwaitAbortable is Await for abortable entry sections: it returns
+// true, without blocking further, as soon as an abort request is
+// pending for this process — whether the request fired before the call
+// or at one of its re-check points. It returns false when cond holds
+// (checked after the abort flag, so a request that races the
+// condition's establishment reports as an abort; callers that must
+// distinguish re-inspect shared state under their own locks). The
+// watch contract is Await's.
+func (p *Proc) AwaitAbortable(cond func(read func(Var) Word) bool, watch ...Var) (aborted bool) {
+	if len(watch) == 0 {
+		panic("memsim: AwaitAbortable with empty watch set")
+	}
+	p.watch = watch
+	p.yield(reportStep)
+	for {
+		if p.abortPending {
+			p.watch = nil
+			p.watchEpoch++
+			return true
+		}
+		if p.evalCond(cond) {
+			p.watch = nil
+			p.watchEpoch++
+			return false
+		}
+		p.stats.AwaitBlocks++
+		p.m.registerWatch(p)
+		p.yield(reportBlocked)
+	}
+}
+
 // evalCond runs one atomic re-check, charging spin-read RMRs.
 func (p *Proc) evalCond(cond func(read func(Var) Word) bool) bool {
 	read := func(v Var) Word { return p.m.doRead(p, v, true) }
@@ -212,6 +283,10 @@ func (p *Proc) EnterCS() {
 	p.m.csOccupant = p.id
 	p.m.csEntries++
 	p.stats.CSEntries++
+	// An abort request the acquisition outran lapses here: the passage
+	// completes normally, and the steps-to-resolution still count
+	// against the wait-free-abort bound.
+	p.resolveAbort()
 	from := p.phase
 	p.phase = PhaseCS
 	p.m.recordPhase(p, from, PhaseCS)
@@ -231,9 +306,15 @@ func (p *Proc) ExitCS() {
 
 // BeginEntrySection records the RMR count at the start of an entry
 // section so EndExitSection can attribute a per-entry RMR cost, and
-// switches the process's phase to PhaseEntry.
+// switches the process's phase to PhaseEntry. It also starts a new
+// passage for the abort schedule: the passage index advances, the
+// entry-event counter resets, and any abort point targeting event 0 of
+// the new passage fires immediately.
 func (p *Proc) BeginEntrySection() {
 	p.rmrAtAcquire = p.stats.RMRs
+	p.passage++
+	p.entryEvents = 0
+	p.fireAbortPoints()
 	from := p.phase
 	p.phase = PhaseEntry
 	p.m.recordPhase(p, from, PhaseEntry)
@@ -254,9 +335,31 @@ func (p *Proc) EndExitSection() int64 {
 	return gap
 }
 
+// AbortPassage ends a passage the process withdrew from: the entry
+// section observed the pending abort request and unwound. It resolves
+// the request (recording steps-to-resolution), counts the abort,
+// closes the RMR window opened by BeginEntrySection, and returns the
+// aborted passage's RMR cost. The process's phase returns to PhaseNCS;
+// a re-request is simply the next BeginEntrySection.
+//
+// Calling it with no pending request is a harness bug and fails the
+// run: withdrawal must only happen in response to a delivered abort.
+func (p *Proc) AbortPassage() int64 {
+	if !p.abortPending {
+		p.failf("process %d aborted a passage with no abort request pending", p.id)
+	}
+	p.resolveAbort()
+	p.stats.Aborts++
+	gap := p.stats.RMRs - p.rmrAtAcquire
+	from := p.phase
+	p.phase = PhaseNCS
+	p.m.recordPhase(p, from, PhaseNCS)
+	return gap
+}
+
 // failf aborts the run with a violation and unwinds this process.
 func (p *Proc) failf(format string, args ...any) {
-	panic(abort{err: fmt.Errorf("memsim: "+format, args...)})
+	panic(violation{err: fmt.Errorf("memsim: "+format, args...)})
 }
 
 // Fail aborts the run, recording a violation detected by algorithm- or
@@ -264,5 +367,5 @@ func (p *Proc) failf(format string, args ...any) {
 // side-contract checks of the two-process mutex). The run's Result
 // reports it like any built-in violation.
 func (p *Proc) Fail(format string, args ...any) {
-	panic(abort{err: fmt.Errorf(format, args...)})
+	panic(violation{err: fmt.Errorf(format, args...)})
 }

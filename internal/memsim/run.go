@@ -105,6 +105,41 @@ func (r Result) NonLocalSpinReads() int64 {
 	return total
 }
 
+// TotalAborts sums withdrawn passages across processes.
+func (r Result) TotalAborts() int64 {
+	var total int64
+	for i := range r.Procs {
+		total += r.Procs[i].Aborts
+	}
+	return total
+}
+
+// Passages is the abortable workload's denominator: passages that
+// either completed (a CS entry) or were withdrawn (an abort).
+func (r Result) Passages() int64 { return r.CSEntries + r.TotalAborts() }
+
+// AmortizedRMRPerPassage is total RMRs divided by completed-or-aborted
+// passages — the honest cost measure for abortable mutual exclusion,
+// where withdrawn passages do real (bounded) work too.
+func (r Result) AmortizedRMRPerPassage() float64 {
+	if p := r.Passages(); p != 0 {
+		return float64(r.TotalRMRs()) / float64(p)
+	}
+	return 0
+}
+
+// MaxAbortResolveSteps is the worst steps-to-resolution of any abort
+// request in the run (see ProcStats.MaxAbortResolveSteps).
+func (r Result) MaxAbortResolveSteps() int64 {
+	var worst int64
+	for i := range r.Procs {
+		if s := r.Procs[i].MaxAbortResolveSteps; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
 // Run executes the machine to completion (or violation, deadlock, or
 // step bound) and returns the result. A machine can be run only once.
 func (m *Machine) Run(cfg RunConfig) Result {
@@ -117,6 +152,7 @@ func (m *Machine) Run(cfg RunConfig) Result {
 	if len(m.procs) == 0 {
 		return Result{Completed: true}
 	}
+	m.distributeAbortPoints()
 
 	for _, p := range m.procs {
 		go p.run()
@@ -198,7 +234,7 @@ func (m *Machine) handleReport(p *Proc, kind reportKind) {
 		p.status = statusReady
 	case reportBlocked:
 		p.status = statusWaiting
-	case reportDone, reportAborted:
+	case reportDone, reportViolation:
 		p.status = statusDone
 	}
 }
@@ -218,9 +254,9 @@ func (p *Proc) run() {
 			p.report <- reportDone
 		case killed:
 			p.report <- reportDone
-		case abort:
+		case violation:
 			p.m.fail(r.err)
-			p.report <- reportAborted
+			p.report <- reportViolation
 		default:
 			panic(r)
 		}

@@ -79,6 +79,21 @@ type Cell struct {
 	MaxBypass int64 `json:"max_bypass"`
 	// Steps is the run's total scheduling points (simulation cost).
 	Steps int64 `json:"steps"`
+	// AbortSchedule describes the cell's pinned abort schedule
+	// (abortable cells only; the memsim.FormatAbortSchedule form).
+	AbortSchedule string `json:"abort_schedule,omitempty"`
+	// Aborts is the number of withdrawn passages (abortable cells).
+	Aborts int64 `json:"aborts,omitempty"`
+	// Passages is completed + withdrawn passages, the denominator of
+	// AmortizedRMR (abortable cells).
+	Passages int64 `json:"passages,omitempty"`
+	// AmortizedRMR is total RMRs divided by Passages — the honest cost
+	// metric once entries may withdraw (abortable cells).
+	AmortizedRMR float64 `json:"amortized_rmr,omitempty"`
+	// MaxAbortResolve is the worst own-step count an abort request
+	// stayed pending — the wait-free-withdrawal figure (abortable
+	// cells).
+	MaxAbortResolve int64 `json:"max_abort_resolve,omitempty"`
 	// Hotspots are the top-k shared variables ranked by the RMR
 	// traffic they attracted (the cmd/hotspots attribution view,
 	// surfaced per cell). Informational: the gate does not compare

@@ -152,6 +152,75 @@ func (l *Mutex) Acquire(proc *memsim.Proc, side int) {
 	l.holder = proc.ID()
 }
 
+// AcquireAbortable is Acquire for abortable entry sections: when an
+// abort request is delivered to proc while it waits, the acquisition is
+// abandoned and false is returned — proc does NOT hold the lock and
+// must not call Release. Abandonment runs the ordinary exit-section
+// hand-off (clear the registration, stamp the rival's release cell), so
+// a rival waiting on the abandoned registration is released exactly as
+// if the aborter had entered and left; the round-fresh, value-matched
+// cells make the stamp inert in every other interleaving. The side
+// contract is Acquire's; on a false return the side is free again.
+//
+// The whole abort path is a constant number of operations, which is
+// what keeps withdrawals wait-free and the amortized RMR cost of the
+// algorithms built on this lock O(1).
+func (l *Mutex) AcquireAbortable(proc *memsim.Proc, side int) bool {
+	checkSide(side)
+	if prev := l.sideUser[side]; prev != -1 {
+		proc.Fail("twoproc: %s side %d acquired by p%d while p%d uses it (caller contract violated)",
+			l.name, side, proc.ID(), prev)
+	}
+	l.sideUser[side] = proc.ID()
+
+	me := l.enc(proc.ID(), l.rounds[proc.ID()])
+	l.rounds[proc.ID()]++
+	l.current[proc.ID()] = me
+	myNudge := l.nudge.At(me)
+	myRelease := l.release.At(me)
+
+	proc.Write(l.c[side], me+1)
+	proc.Write(l.t, me+1)
+	rival := proc.Read(l.c[1-side])
+	if rival != 0 && proc.Read(l.t) == me+1 {
+		proc.Write(l.nudge.At(rival-1), 1)
+		if proc.AwaitAbortable(func(read func(memsim.Var) Word) bool {
+			return read(myNudge) != 0 || read(myRelease) == rival
+		}, myNudge, myRelease) {
+			return l.abandon(proc, side)
+		}
+		if proc.Read(l.t) == me+1 {
+			if proc.AwaitAbortable(func(read func(memsim.Var) Word) bool {
+				return read(myRelease) == rival
+			}, myRelease) {
+				return l.abandon(proc, side)
+			}
+		}
+	}
+
+	if l.holder != -1 {
+		proc.Fail("twoproc: %s mutual exclusion broken: p%d entered while p%d holds",
+			l.name, proc.ID(), l.holder)
+	}
+	l.holder = proc.ID()
+	return true
+}
+
+// abandon withdraws an in-flight acquisition: Release's hand-off
+// without ever having held the lock. A rival that observed our
+// registration is waiting for a release stamp value-matched to it, and
+// gets exactly that; a rival that missed it never waits on us, and the
+// stamp (if any) lands in a dead round-keyed cell.
+func (l *Mutex) abandon(proc *memsim.Proc, side int) bool {
+	l.sideUser[side] = -1
+	proc.Write(l.c[side], 0)
+	rival := proc.Read(l.c[1-side])
+	if rival != 0 {
+		proc.Write(l.release.At(rival-1), l.current[proc.ID()]+1)
+	}
+	return false
+}
+
 // Release performs the exit section for proc playing the given side.
 // The rival to hand the lock to is identified from the other side's
 // registration, which is stable for exactly as long as that rival
